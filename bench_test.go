@@ -1,0 +1,300 @@
+// Benchmarks regenerating the paper's evaluation artifacts (§VII).
+//
+// One benchmark per table and figure:
+//
+//	BenchmarkTableIII_HTTP        — table III (HTTP potency & costs)
+//	BenchmarkTableIV_Modbus       — table IV (TCP-Modbus potency & costs)
+//	BenchmarkFig4_HTTPTime        — figure 4 (HTTP time vs #transforms, linear fit)
+//	BenchmarkFig5_ModbusTime      — figure 5 (Modbus time vs #transforms, linear fit)
+//	BenchmarkFig6_HTTPPotency     — figure 6 (HTTP normalized potency curves)
+//	BenchmarkFig7_ModbusPotency   — figure 7 (Modbus normalized potency curves)
+//	BenchmarkResilience           — §VII-D PRE degradation
+//	BenchmarkAblation_Modbus      — per-transformation ablation
+//
+// plus micro-benchmarks of the runtime costs (serialize/parse at each
+// obfuscation level, obfuscation itself, code generation).
+//
+// Paper-scale numbers (1000 runs per level) are produced by
+// cmd/protoobf-bench; the benchmark campaigns here use reduced run
+// counts so that `go test -bench=.` stays in the minutes range, while
+// the measured iteration is one full experiment (obfuscate both
+// directions + generate code + measure a message workload).
+package protoobf_test
+
+import (
+	"fmt"
+	"testing"
+
+	"protoobf/internal/bench"
+	"protoobf/internal/codegen"
+	"protoobf/internal/graph"
+	"protoobf/internal/msgtree"
+	"protoobf/internal/protocols/httpmsg"
+	"protoobf/internal/protocols/modbus"
+	"protoobf/internal/rng"
+	"protoobf/internal/transform"
+	"protoobf/internal/wire"
+)
+
+// campaignBench measures one full experiment per iteration and logs the
+// paper-style table computed from a small campaign.
+func campaignBench(b *testing.B, protocol string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run(bench.Config{
+			Protocol: protocol, Runs: 1, Levels: []int{2}, MsgsPerRun: 5, Seed: int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	res, err := bench.Run(bench.Config{Protocol: protocol, Runs: 8, MsgsPerRun: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("\n%s", res.Table())
+}
+
+func BenchmarkTableIII_HTTP(b *testing.B)  { campaignBench(b, "http") }
+func BenchmarkTableIV_Modbus(b *testing.B) { campaignBench(b, "modbus") }
+
+// figureTimeBench reports the fitted slopes and correlations of the time
+// figures as custom benchmark metrics.
+func figureTimeBench(b *testing.B, protocol string) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Run(bench.Config{Protocol: protocol, Runs: 4, MsgsPerRun: 8, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		parse, ser, err := res.TimeFits()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parse.Slope*1e6, "parse-ns/transf")
+		b.ReportMetric(ser.Slope*1e6, "ser-ns/transf")
+		b.ReportMetric(parse.R, "parse-corr")
+		b.ReportMetric(ser.R, "ser-corr")
+		if i == 0 {
+			b.Logf("parse fit: %v", parse)
+			b.Logf("serialize fit: %v", ser)
+		}
+	}
+}
+
+func BenchmarkFig4_HTTPTime(b *testing.B)   { figureTimeBench(b, "http") }
+func BenchmarkFig5_ModbusTime(b *testing.B) { figureTimeBench(b, "modbus") }
+
+// figurePotencyBench reports the normalized potency curve endpoints.
+func figurePotencyBench(b *testing.B, protocol string) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Run(bench.Config{Protocol: protocol, Runs: 3, MsgsPerRun: 4, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Levels[len(res.Levels)-1]
+		b.ReportMetric(last.Lines.Avg(), "lines-x@4")
+		b.ReportMetric(last.Structs.Avg(), "structs-x@4")
+		b.ReportMetric(last.CGSize.Avg(), "cgsize-x@4")
+		b.ReportMetric(last.CGDepth.Avg(), "cgdepth-x@4")
+		if i == 0 {
+			b.Logf("\n%s", res.PotencyFigure())
+		}
+	}
+}
+
+func BenchmarkFig6_HTTPPotency(b *testing.B)   { figurePotencyBench(b, "http") }
+func BenchmarkFig7_ModbusPotency(b *testing.B) { figurePotencyBench(b, "modbus") }
+
+func BenchmarkResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunResilience(bench.ResilienceConfig{
+			PerType: 8, Levels: []int{0, 1}, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, obf := res.Levels[0], res.Levels[1]
+		b.ReportMetric(plain.PairwiseF1, "plain-pairF1")
+		b.ReportMetric(obf.PairwiseF1, "obf1-pairF1")
+		b.ReportMetric(plain.FieldF1, "plain-fieldF1")
+		b.ReportMetric(obf.FieldF1, "obf1-fieldF1")
+		if i == 0 {
+			b.Logf("\n%s", res.Table())
+		}
+	}
+}
+
+func BenchmarkAblation_Modbus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunAblation("modbus", 4, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Table())
+		}
+	}
+}
+
+// --- micro-benchmarks: runtime costs per message --------------------------
+
+type fixture struct {
+	g    *graph.Graph
+	msgs []*msgtree.Message
+	wire [][]byte
+	r    *rng.R
+}
+
+func modbusFixture(b *testing.B, perNode int) *fixture {
+	b.Helper()
+	g, err := modbus.RequestGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(17)
+	if perNode > 0 {
+		res, err := transform.Obfuscate(g, transform.Options{PerNode: perNode}, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = res.Graph
+	}
+	f := &fixture{g: g, r: r}
+	for i := 0; i < 16; i++ {
+		req := modbus.RandomRequest(r)
+		m, err := modbus.BuildRequest(g, r, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := wire.Serialize(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.msgs = append(f.msgs, m)
+		f.wire = append(f.wire, data)
+	}
+	return f
+}
+
+func httpFixture(b *testing.B, perNode int) *fixture {
+	b.Helper()
+	g, err := httpmsg.RequestGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(23)
+	if perNode > 0 {
+		res, err := transform.Obfuscate(g, transform.Options{PerNode: perNode}, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = res.Graph
+	}
+	f := &fixture{g: g, r: r}
+	for i := 0; i < 16; i++ {
+		req := httpmsg.RandomRequest(r)
+		m, err := httpmsg.BuildRequest(g, r, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := wire.Serialize(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.msgs = append(f.msgs, m)
+		f.wire = append(f.wire, data)
+	}
+	return f
+}
+
+func benchSerialize(b *testing.B, f *fixture) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Serialize(f.msgs[i%len(f.msgs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchParse(b *testing.B, f *fixture) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Parse(f.g, f.wire[i%len(f.wire)], f.r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerializeModbus(b *testing.B) {
+	for _, perNode := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("perNode=%d", perNode), func(b *testing.B) {
+			benchSerialize(b, modbusFixture(b, perNode))
+		})
+	}
+}
+
+func BenchmarkParseModbus(b *testing.B) {
+	for _, perNode := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("perNode=%d", perNode), func(b *testing.B) {
+			benchParse(b, modbusFixture(b, perNode))
+		})
+	}
+}
+
+func BenchmarkSerializeHTTP(b *testing.B) {
+	for _, perNode := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("perNode=%d", perNode), func(b *testing.B) {
+			benchSerialize(b, httpFixture(b, perNode))
+		})
+	}
+}
+
+func BenchmarkParseHTTP(b *testing.B) {
+	for _, perNode := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("perNode=%d", perNode), func(b *testing.B) {
+			benchParse(b, httpFixture(b, perNode))
+		})
+	}
+}
+
+// BenchmarkObfuscate measures the transformation engine itself (part of
+// the paper's offline "generation time").
+func BenchmarkObfuscate(b *testing.B) {
+	g, err := modbus.RequestGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, perNode := range []int{1, 4} {
+		b.Run(fmt.Sprintf("perNode=%d", perNode), func(b *testing.B) {
+			r := rng.New(3)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := transform.Obfuscate(g, transform.Options{PerNode: perNode}, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGenerate measures code generation (the other half of the
+// generation time).
+func BenchmarkGenerate(b *testing.B) {
+	g, err := modbus.RequestGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := transform.Obfuscate(g, transform.Options{PerNode: 2}, rng.New(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codegen.Generate(res.Graph, codegen.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

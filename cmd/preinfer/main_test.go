@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadCapture(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.hex")
+	content := hex.EncodeToString([]byte("hello")) + "\n\n" + hex.EncodeToString([]byte{1, 2, 3}) + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := readCapture(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 || string(msgs[0]) != "hello" || len(msgs[1]) != 3 {
+		t.Errorf("msgs = %q", msgs)
+	}
+	// Bad hex reports the line.
+	if err := os.WriteFile(path, []byte("zz\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readCapture(path); err == nil {
+		t.Error("bad hex accepted")
+	}
+}
+
+func TestRunCaptureMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.hex")
+	var content string
+	for _, m := range []string{"GET /a HTTP", "GET /b HTTP", "POST /c HTTP"} {
+		content += hex.EncodeToString([]byte(m)) + "\n"
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-capture", path, "-threshold", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDemoMode(t *testing.T) {
+	if err := run([]string{"-demo-modbus", "-per-node", "1", "-per-type", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-capture", "/does/not/exist"}); err == nil {
+		t.Error("missing capture accepted")
+	}
+	// A capture with a single message cannot be analyzed.
+	path := filepath.Join(t.TempDir(), "one.hex")
+	if err := os.WriteFile(path, []byte(hex.EncodeToString([]byte("x"))+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-capture", path}); err == nil {
+		t.Error("single-message capture accepted")
+	}
+}

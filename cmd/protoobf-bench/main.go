@@ -1,0 +1,139 @@
+// Command protoobf-bench regenerates the paper's evaluation (§VII):
+// tables III/IV, the time figures 4/5, the potency figures 6/7, the
+// §VII-D resilience assessment, and the per-transformation ablation.
+//
+// Usage:
+//
+//	protoobf-bench -protocol modbus -table             # table IV
+//	protoobf-bench -protocol http -table -runs 1000    # table III, paper-scale
+//	protoobf-bench -protocol http -figure time         # figure 4 data + fits
+//	protoobf-bench -protocol modbus -figure potency    # figure 7 data
+//	protoobf-bench -resilience                         # §VII-D
+//	protoobf-bench -ablation -protocol modbus          # per-transformation study
+//	protoobf-bench -all                                # everything, default sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"protoobf/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "protoobf-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("protoobf-bench", flag.ContinueOnError)
+	protocol := fs.String("protocol", "modbus", "protocol to evaluate (modbus or http)")
+	runs := fs.Int("runs", 50, "experiments per obfuscation level (paper: 1000)")
+	msgs := fs.Int("msgs", 20, "messages per experiment for timing measures")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	table := fs.Bool("table", false, "print the paper-style table (III or IV)")
+	figure := fs.String("figure", "", "print figure data: time (fig 4/5) or potency (fig 6/7)")
+	resilience := fs.Bool("resilience", false, "run the §VII-D resilience assessment")
+	calibrate := fs.Float64("calibrate", 0, "search the per-node level whose residual PRE score falls below this target (e.g. 0.2)")
+	ablation := fs.Bool("ablation", false, "run the per-transformation ablation study")
+	all := fs.Bool("all", false, "run every experiment for both protocols")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *all {
+		for _, p := range []string{"http", "modbus"} {
+			res, err := bench.Run(bench.Config{Protocol: p, Runs: *runs, MsgsPerRun: *msgs, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
+			fig, err := res.TimeFigure()
+			if err != nil {
+				return err
+			}
+			fmt.Println(firstLines(fig, 3))
+			fmt.Println(res.PotencyFigure())
+			ab, err := bench.RunAblation(p, *msgs, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(ab.Table())
+		}
+		rr, err := bench.RunResilience(bench.ResilienceConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rr.Table())
+		return nil
+	}
+
+	if *resilience {
+		rr, err := bench.RunResilience(bench.ResilienceConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rr.Table())
+		return nil
+	}
+	if *calibrate > 0 {
+		cr, err := bench.Calibrate(bench.CalibrateConfig{Target: *calibrate, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(cr.Table())
+		return nil
+	}
+	if *ablation {
+		ab, err := bench.RunAblation(*protocol, *msgs, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(ab.Table())
+		return nil
+	}
+
+	needCampaign := *table || *figure != ""
+	if !needCampaign {
+		return fmt.Errorf("nothing to do: pass -table, -figure, -resilience, -calibrate, -ablation or -all")
+	}
+	res, err := bench.Run(bench.Config{Protocol: *protocol, Runs: *runs, MsgsPerRun: *msgs, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if *table {
+		fmt.Print(res.Table())
+	}
+	switch *figure {
+	case "":
+	case "time":
+		fig, err := res.TimeFigure()
+		if err != nil {
+			return err
+		}
+		fmt.Print(fig)
+	case "potency":
+		fmt.Print(res.PotencyFigure())
+	default:
+		return fmt.Errorf("unknown figure %q (want time or potency)", *figure)
+	}
+	return nil
+}
+
+func firstLines(s string, n int) string {
+	out := ""
+	count := 0
+	for _, c := range s {
+		out += string(c)
+		if c == '\n' {
+			count++
+			if count == n {
+				break
+			}
+		}
+	}
+	return out
+}

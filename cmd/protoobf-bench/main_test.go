@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunTableSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	if err := run([]string{"-protocol", "http", "-table", "-runs", "2", "-msgs", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	if err := run([]string{"-protocol", "modbus", "-figure", "potency", "-runs", "2", "-msgs", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-protocol", "modbus", "-figure", "time", "-runs", "2", "-msgs", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no action accepted")
+	}
+	if err := run([]string{"-figure", "nope", "-runs", "1", "-msgs", "2"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-protocol", "ftp", "-table", "-runs", "1"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestFirstLines(t *testing.T) {
+	if got := firstLines("a\nb\nc\n", 2); got != "a\nb\n" {
+		t.Errorf("firstLines = %q", got)
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBuiltin(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "gen.go")
+	if err := run([]string{"-builtin", "modbus-request", "-per-node", "1", "-seed", "3", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(data)
+	for _, want := range []string{"package obfproto", "func Parse(", "func SelfTest()"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}
+
+func TestRunSpecFile(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "p.spec")
+	if err := os.WriteFile(spec, []byte(`
+protocol filep;
+root seq m end { uint a 2; bytes b end; }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "gen.go")
+	if err := run([]string{"-spec", spec, "-per-node", "0", "-pkg", "filep", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "package filep") {
+		t.Error("package name flag ignored")
+	}
+}
+
+func TestRunDot(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.dot")
+	if err := run([]string{"-builtin", "http-request", "-per-node", "1", "-dot", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "digraph") {
+		t.Error("dot output malformed")
+	}
+}
+
+func TestRunExclude(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "gen.go")
+	err := run([]string{"-builtin", "modbus-request", "-per-node", "1", "-seed", "3",
+		"-exclude", "PadInsert,ReadFromEnd", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-builtin", "modbus-request", "-exclude", "Nope", "-o", out}); err == nil {
+		t.Error("unknown exclude accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing spec accepted")
+	}
+	if err := run([]string{"-builtin", "nope"}); err == nil {
+		t.Error("unknown builtin accepted")
+	}
+	if err := run([]string{"-spec", "/does/not/exist"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSplitComma(t *testing.T) {
+	got := splitComma("a,b,,c")
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("splitComma = %v", got)
+	}
+	if splitComma("") != nil {
+		t.Error("empty input should yield nil")
+	}
+}

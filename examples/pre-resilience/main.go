@@ -1,0 +1,28 @@
+// Resilience demo (paper §VII-D): run the alignment-based protocol
+// reverse engineering baseline against Modbus captures at increasing
+// obfuscation levels and watch the inference collapse.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"protoobf/internal/bench"
+)
+
+func main() {
+	res, err := bench.RunResilience(bench.ResilienceConfig{
+		PerType: 10,
+		Levels:  []int{0, 1, 2, 3, 4},
+		Seed:    2024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table())
+	fmt.Println()
+	fmt.Println("The paper's Netzob expert recovered the exact plain Modbus format in")
+	fmt.Println("under half an hour and obtained no relevant result on the 1-per-node")
+	fmt.Println("version after two hours; the F1 collapse above is the same effect,")
+	fmt.Println("measured against an automated alignment-based inference pipeline.")
+}

@@ -1,0 +1,90 @@
+// Quickstart: compile a small message-format specification with
+// obfuscation, build a message through the original field names,
+// serialize it to obfuscated bytes, parse it back and inspect the
+// generated protocol library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"protoobf"
+)
+
+const spec = `
+protocol sensor;
+root seq reading end {
+    uint  station 2;
+    uint  kind 1;
+    uint  blen 2;
+    seq body length(blen) {
+        bytes name delim ";" min 1;
+        uint  n 1;
+        tabular samples count(n) { uint sample 2; }
+    }
+    optional alert when kind == 9 { bytes reason end; }
+}
+`
+
+func main() {
+	// Both peers compile the same spec with the same seed; regenerating
+	// with a new seed yields a fresh protocol version without touching
+	// this code (paper §I).
+	proto, err := protoobf.Compile(spec, protoobf.Options{PerNode: 2, Seed: 2024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(proto.Summary())
+	fmt.Println("\napplied transformations:")
+	fmt.Print(proto.Trace())
+
+	// Build a message using ORIGINAL field names: the obfuscation is
+	// invisible to the application (stable accessor interface, §VI).
+	msg := proto.NewMessage()
+	s := msg.Scope()
+	check(s.SetUint("station", 0x0102))
+	check(s.SetUint("kind", 9))
+	check(s.SetString("name", "temp-probe-7"))
+	for _, v := range []uint64{210, 215, 213} {
+		item, err := s.Add("samples")
+		check(err)
+		check(item.SetUint("sample", v))
+	}
+	alert, err := s.Enable("alert")
+	check(err)
+	check(alert.SetString("reason", "over threshold"))
+
+	wire, err := proto.Serialize(msg)
+	check(err)
+	fmt.Printf("\nobfuscated wire (%d bytes): %x\n", len(wire), wire)
+
+	// The plain strings are scattered/transformed in the wire image.
+	if !strings.Contains(string(wire), "temp-probe-7") {
+		fmt.Println("note: the field value does not appear verbatim in the wire bytes")
+	}
+
+	back, err := proto.Parse(wire)
+	check(err)
+	bs := back.Scope()
+	station, _ := bs.GetUint("station")
+	name, _ := bs.GetBytes("name")
+	items, _ := bs.Items("samples")
+	fmt.Printf("parsed back: station=%#x name=%q samples=%d\n", station, name, len(items))
+	for i, it := range items {
+		v, _ := it.GetUint("sample")
+		fmt.Printf("  sample[%d] = %d\n", i, v)
+	}
+
+	// The framework also emits a standalone Go library for this exact
+	// obfuscated protocol (parser + serializer + accessors).
+	src, err := proto.GenerateSource("sensorproto")
+	check(err)
+	fmt.Printf("\ngenerated library: %d lines of Go\n", strings.Count(src, "\n"))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

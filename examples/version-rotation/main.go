@@ -1,0 +1,84 @@
+// Version rotation (paper §VIII): peers that share a spec and a master
+// seed derive a fresh obfuscated dialect per epoch, so a captured corpus
+// from one epoch teaches an adversary nothing about the next. This demo
+// shows three epochs of the same logical message and verifies that a
+// peer can decode exactly the epochs it agrees on.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"protoobf"
+)
+
+const spec = `
+protocol beacon;
+root seq msg end {
+    uint  device 2;
+    uint  seqno 4;
+    uint  blen 2;
+    seq body length(blen) {
+        bytes status delim ";" min 1;
+    }
+    bytes sig end;
+}
+`
+
+func main() {
+	// Peer A and peer B configured identically (e.g. at deployment).
+	a, err := protoobf.NewRotation(spec, protoobf.Options{PerNode: 2, Seed: 0xC0FFEE})
+	check(err)
+	b, err := protoobf.NewRotation(spec, protoobf.Options{PerNode: 2, Seed: 0xC0FFEE})
+	check(err)
+
+	for epoch := uint64(0); epoch < 3; epoch++ {
+		sender, err := a.Version(epoch)
+		check(err)
+		receiver, err := b.Version(epoch)
+		check(err)
+
+		msg := sender.NewMessage()
+		s := msg.Scope()
+		check(s.SetUint("device", 42))
+		check(s.SetUint("seqno", 1000+epoch))
+		check(s.SetString("status", "ok"))
+		check(s.SetBytes("sig", []byte{0xAA, 0xBB}))
+
+		data, err := sender.Serialize(msg)
+		check(err)
+		fmt.Printf("epoch %d wire (%2d bytes): %x\n", epoch, len(data), data)
+
+		back, err := receiver.Parse(data)
+		check(err)
+		seqno, _ := back.Scope().GetUint("seqno")
+		fmt.Printf("epoch %d decoded seqno = %d (%d transformations in this dialect)\n",
+			epoch, seqno, len(sender.Applied))
+	}
+
+	// A peer stuck on the wrong epoch cannot (usefully) decode.
+	p0, err := a.Version(0)
+	check(err)
+	p1, err := a.Version(1)
+	check(err)
+	msg := p0.NewMessage()
+	s := msg.Scope()
+	check(s.SetUint("device", 42))
+	check(s.SetUint("seqno", 7))
+	check(s.SetString("status", "ok"))
+	check(s.SetBytes("sig", nil))
+	data, err := p0.Serialize(msg)
+	check(err)
+	if back, err := p1.Parse(data); err != nil {
+		fmt.Printf("\nepoch-1 peer rejects an epoch-0 message: %v\n", err)
+	} else {
+		v, gerr := back.Scope().GetUint("seqno")
+		fmt.Printf("\nepoch-1 peer mis-decodes the epoch-0 message (seqno=%d, err=%v)\n", v, gerr)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps unit-test campaigns fast; the CLI runs the full size.
+func smallCfg(protocol string) Config {
+	return Config{Protocol: protocol, Runs: 3, Levels: []int{1, 2}, MsgsPerRun: 4, Seed: 42}
+}
+
+func TestRunModbusCampaign(t *testing.T) {
+	res, err := Run(smallCfg("modbus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 2 {
+		t.Fatalf("levels = %d", len(res.Levels))
+	}
+	l1, l2 := &res.Levels[0], &res.Levels[1]
+	if l1.Applied.Avg() <= 0 {
+		t.Error("no transformations applied at level 1")
+	}
+	if l2.Applied.Avg() <= l1.Applied.Avg() {
+		t.Errorf("applied did not grow: %v -> %v", l1.Applied.Avg(), l2.Applied.Avg())
+	}
+	// Potency is normalized: level 1 must exceed 1.0 on lines/structs.
+	if l1.Lines.Avg() <= 1.0 || l1.Structs.Avg() <= 1.0 || l1.CGSize.Avg() <= 1.0 {
+		t.Errorf("potency at level 1 not above baseline: lines=%.2f structs=%.2f cg=%.2f",
+			l1.Lines.Avg(), l1.Structs.Avg(), l1.CGSize.Avg())
+	}
+	if l2.Lines.Avg() <= l1.Lines.Avg() {
+		t.Errorf("lines ratio did not grow: %.2f -> %.2f", l1.Lines.Avg(), l2.Lines.Avg())
+	}
+	if l1.BufBytes.Avg() <= 0 || l1.ParseMs.Avg() <= 0 || l1.SerializeMs.Avg() <= 0 {
+		t.Error("cost metrics empty")
+	}
+	table := res.Table()
+	for _, want := range []string{"TABLE IV", "Nb. transf. applied", "Call graph size", "Buffer size"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table lacks %q:\n%s", want, table)
+		}
+	}
+	fig, err := res.TimeFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig, "FIGURE 5") || !strings.Contains(fig, "applied,parse_ms") {
+		t.Errorf("time figure malformed:\n%s", fig)
+	}
+	pf := res.PotencyFigure()
+	if !strings.Contains(pf, "FIGURE 7") {
+		t.Errorf("potency figure malformed:\n%s", pf)
+	}
+}
+
+func TestRunHTTPCampaign(t *testing.T) {
+	res, err := Run(smallCfg("http"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table(), "TABLE III") {
+		t.Error("http campaign should render table III")
+	}
+	l1 := &res.Levels[0]
+	if l1.Lines.Avg() <= 1.0 {
+		t.Errorf("http potency at level 1 = %.2f", l1.Lines.Avg())
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	if _, err := Run(Config{Protocol: "ftp"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestTimeFitsPositiveSlope(t *testing.T) {
+	cfg := Config{Protocol: "modbus", Runs: 4, Levels: []int{1, 3}, MsgsPerRun: 6, Seed: 7}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse, ser, err := res.TimeFits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's figures show times increasing linearly with the number
+	// of transformations; at minimum the slopes must not be negative
+	// beyond noise.
+	t.Logf("parse: %v", parse)
+	t.Logf("serialize: %v", ser)
+	if parse.Slope < -1e-4 || ser.Slope < -1e-4 {
+		t.Errorf("time slopes negative: parse %v, serialize %v", parse.Slope, ser.Slope)
+	}
+}
+
+func TestResilienceCampaign(t *testing.T) {
+	res, err := RunResilience(ResilienceConfig{PerType: 6, Levels: []int{0, 1}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 2 {
+		t.Fatalf("levels = %d", len(res.Levels))
+	}
+	plain, obf := res.Levels[0], res.Levels[1]
+	if plain.PerNode != 0 || plain.Applied != 0 {
+		t.Errorf("plain level misconfigured: %+v", plain)
+	}
+	if obf.Applied == 0 {
+		t.Error("obfuscated level applied nothing")
+	}
+	if obf.PairwiseF1 > plain.PairwiseF1 {
+		t.Errorf("classification improved under obfuscation: %.2f > %.2f", obf.PairwiseF1, plain.PairwiseF1)
+	}
+	if !strings.Contains(res.Table(), "RESILIENCE") {
+		t.Error("resilience table malformed")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	res, err := RunAblation("modbus", 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 13 {
+		t.Fatalf("rows = %d, want 13 transformations", len(res.Rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range res.Rows {
+		byName[r.Transform] = r
+	}
+	// Frequently applicable transformations must have applied on the
+	// Modbus graphs.
+	for _, name := range []string{"SplitAdd", "ConstXor", "PadInsert", "ChildMove"} {
+		if byName[name].Applied == 0 {
+			t.Errorf("%s never applied on modbus", name)
+		}
+	}
+	// PadInsert grows the buffer relative to ChildMove (which is free).
+	if byName["PadInsert"].BufBytes <= byName["ChildMove"].BufBytes {
+		t.Errorf("PadInsert buffer %f not above ChildMove %f",
+			byName["PadInsert"].BufBytes, byName["ChildMove"].BufBytes)
+	}
+	if !strings.Contains(res.Table(), "ABLATION") {
+		t.Error("ablation table malformed")
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	res, err := Calibrate(CalibrateConfig{Target: 0.2, MaxPerNode: 4, Trials: 3, PerType: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) < 2 {
+		t.Fatalf("levels = %d", len(res.Levels))
+	}
+	plain := res.Levels[0]
+	if plain.PerNode != 0 || plain.Score.Avg() <= 0.2 {
+		t.Errorf("plain PRE score %.2f should exceed the target", plain.Score.Avg())
+	}
+	if res.Recommended < 1 {
+		t.Errorf("no recommendation found: %+v", res.Levels)
+	}
+	// Scores must not increase with the level (monotone degradation,
+	// allowing small noise).
+	for i := 1; i < len(res.Levels); i++ {
+		if res.Levels[i].Score.Avg() > res.Levels[i-1].Score.Avg()+0.15 {
+			t.Errorf("PRE score rose from level %d to %d: %.2f -> %.2f",
+				res.Levels[i-1].PerNode, res.Levels[i].PerNode,
+				res.Levels[i-1].Score.Avg(), res.Levels[i].Score.Avg())
+		}
+	}
+	if !strings.Contains(res.Table(), "CALIBRATION") {
+		t.Error("calibration table malformed")
+	}
+}

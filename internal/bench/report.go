@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"protoobf/internal/stats"
+)
+
+// Table renders the campaign in the format of the paper's tables III/IV.
+func (r *Result) Table() string {
+	var b strings.Builder
+	title := "TABLE III — HTTP PROTOCOL"
+	if r.Protocol == "modbus" {
+		title = "TABLE IV — TCP-MODBUS PROTOCOL"
+	}
+	fmt.Fprintf(&b, "%s (runs=%d, msgs/run=%d, seed=%d)\n",
+		title, r.Config.Runs, r.Config.MsgsPerRun, r.Config.Seed)
+	fmt.Fprintf(&b, "baseline: %d lines, %d structs, call graph %d/%d (size/depth)\n\n",
+		r.Baseline.Lines, r.Baseline.Structs, r.Baseline.CallGraphSize, r.Baseline.CallGraphDepth)
+
+	row := func(label string, cell func(l *LevelResult) string) {
+		fmt.Fprintf(&b, "%-24s", label)
+		for i := range r.Levels {
+			fmt.Fprintf(&b, " %-22s", cell(&r.Levels[i]))
+		}
+		b.WriteByte('\n')
+	}
+	row("Nb. transf. per node", func(l *LevelResult) string { return fmt.Sprintf("%d", l.PerNode) })
+	row("Nb. transf. applied", func(l *LevelResult) string { return l.Applied.CellInt() })
+	b.WriteString("Potency (normalized)\n")
+	row("  Nb. lines", func(l *LevelResult) string { return l.Lines.Cell(1) })
+	row("  Nb. structs", func(l *LevelResult) string { return l.Structs.Cell(1) })
+	row("  Call graph size", func(l *LevelResult) string { return l.CGSize.Cell(1) })
+	row("  Call graph depth", func(l *LevelResult) string { return l.CGDepth.Cell(1) })
+	b.WriteString("Costs (absolute)\n")
+	row("  Generation time (ms)", func(l *LevelResult) string { return l.GenerationMs.Cell(2) })
+	row("  Parsing time (ms)", func(l *LevelResult) string { return l.ParseMs.Cell(4) })
+	row("  Serialization (ms)", func(l *LevelResult) string { return l.SerializeMs.Cell(4) })
+	row("  Buffer size (bytes)", func(l *LevelResult) string { return l.BufBytes.CellInt() })
+	return b.String()
+}
+
+// TimeFigure renders the data of figures 4/5: the per-run scatter of
+// parsing and serialization times against the number of applied
+// transformations, with the least-squares fits and correlation
+// coefficients the paper draws.
+func (r *Result) TimeFigure() (string, error) {
+	var xs, parseYs, serYs []float64
+	for _, l := range r.Levels {
+		for _, p := range l.Points {
+			xs = append(xs, float64(p.Applied))
+			parseYs = append(parseYs, p.ParseMs)
+			serYs = append(serYs, p.SerializeMs)
+		}
+	}
+	parseFit, err := stats.Fit(xs, parseYs)
+	if err != nil {
+		return "", err
+	}
+	serFit, err := stats.Fit(xs, serYs)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fig := "FIGURE 4 — HTTP"
+	if r.Protocol == "modbus" {
+		fig = "FIGURE 5 — MODBUS"
+	}
+	fmt.Fprintf(&b, "%s: parsing and serialization time vs transformations applied\n", fig)
+	fmt.Fprintf(&b, "parse fit:     %v\n", parseFit)
+	fmt.Fprintf(&b, "serialize fit: %v\n", serFit)
+	b.WriteString("applied,parse_ms,serialize_ms\n")
+	for i := range xs {
+		fmt.Fprintf(&b, "%.0f,%.6f,%.6f\n", xs[i], parseYs[i], serYs[i])
+	}
+	return b.String(), nil
+}
+
+// TimeFits returns the two regressions of the time figure.
+func (r *Result) TimeFits() (parse, serialize stats.LinReg, err error) {
+	var xs, parseYs, serYs []float64
+	for _, l := range r.Levels {
+		for _, p := range l.Points {
+			xs = append(xs, float64(p.Applied))
+			parseYs = append(parseYs, p.ParseMs)
+			serYs = append(serYs, p.SerializeMs)
+		}
+	}
+	if parse, err = stats.Fit(xs, parseYs); err != nil {
+		return
+	}
+	serialize, err = stats.Fit(xs, serYs)
+	return
+}
+
+// PotencyFigure renders the data of figures 6/7: the normalized potency
+// metrics against the number of applied transformations (cluster
+// averages per level).
+func (r *Result) PotencyFigure() string {
+	var b strings.Builder
+	fig := "FIGURE 6 — HTTP"
+	if r.Protocol == "modbus" {
+		fig = "FIGURE 7 — MODBUS"
+	}
+	fmt.Fprintf(&b, "%s: normalized potency metrics vs transformations applied\n", fig)
+	b.WriteString("applied_avg,lines,structs,callgraph_size,callgraph_depth\n")
+	for i := range r.Levels {
+		l := &r.Levels[i]
+		fmt.Fprintf(&b, "%.1f,%.2f,%.2f,%.2f,%.2f\n",
+			l.Applied.Avg(), l.Lines.Avg(), l.Structs.Avg(), l.CGSize.Avg(), l.CGDepth.Avg())
+	}
+	return b.String()
+}

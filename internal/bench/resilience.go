@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"protoobf/internal/pre"
+	"protoobf/internal/protocols/modbus"
+	"protoobf/internal/rng"
+	"protoobf/internal/transform"
+)
+
+// ResilienceConfig parameterizes the §VII-D assessment.
+type ResilienceConfig struct {
+	// PerType is the number of captured messages per request type (the
+	// paper's trace has 4 message types).
+	PerType int
+	// Levels are the obfuscation levels to assess (0 = plain).
+	Levels []int
+	// Threshold is the clustering similarity threshold of the PRE
+	// baseline.
+	Threshold float64
+	Seed      int64
+}
+
+func (c *ResilienceConfig) defaults() {
+	if c.PerType == 0 {
+		c.PerType = 10
+	}
+	if len(c.Levels) == 0 {
+		c.Levels = []int{0, 1, 2, 3, 4}
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.5
+	}
+}
+
+// ResilienceLevel is the PRE baseline's score at one obfuscation level.
+type ResilienceLevel struct {
+	PerNode    int
+	Applied    int
+	Clusters   int
+	TrueTypes  int
+	PairwiseF1 float64
+	FieldF1    float64
+}
+
+// ResilienceResult is the full assessment.
+type ResilienceResult struct {
+	Config ResilienceConfig
+	Levels []ResilienceLevel
+}
+
+// RunResilience reproduces the resilience assessment of §VII-D
+// quantitatively: a captured Modbus trace of four request types is fed
+// to the alignment-based PRE baseline, plain and at increasing
+// obfuscation levels. The paper's expert retrieved the exact plain
+// format in under half an hour and failed on the 1-per-node version;
+// here the same contrast appears as a collapse of the classification
+// pairwise F1 and the field-boundary F1.
+func RunResilience(cfg ResilienceConfig) (*ResilienceResult, error) {
+	cfg.defaults()
+	reqG, err := modbus.RequestGraph()
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	res := &ResilienceResult{Config: cfg}
+	for _, perNode := range cfg.Levels {
+		r := root.Split()
+		g := reqG
+		applied := 0
+		if perNode > 0 {
+			tr, err := transform.Obfuscate(reqG, transform.Options{PerNode: perNode}, r)
+			if err != nil {
+				return nil, err
+			}
+			g = tr.Graph
+			applied = len(tr.Applied)
+		}
+		msgs, labels, truth := pre.ModbusTrace(g, r, cfg.PerType)
+		analysis := pre.Run(msgs, labels, truth, cfg.Threshold)
+		res.Levels = append(res.Levels, ResilienceLevel{
+			PerNode:    perNode,
+			Applied:    applied,
+			Clusters:   analysis.Classification.Clusters,
+			TrueTypes:  analysis.Classification.TrueTypes,
+			PairwiseF1: analysis.Classification.PairwiseF1,
+			FieldF1:    analysis.FieldF1,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the assessment.
+func (r *ResilienceResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RESILIENCE (§VII-D) — alignment-based PRE on Modbus traces (%d msgs/type, threshold %.2f)\n",
+		r.Config.PerType, r.Config.Threshold)
+	fmt.Fprintf(&b, "%-10s %-10s %-10s %-12s %-12s %-10s\n",
+		"per-node", "applied", "clusters", "true types", "pairwise F1", "field F1")
+	for _, l := range r.Levels {
+		fmt.Fprintf(&b, "%-10d %-10d %-10d %-12d %-12.2f %-10.2f\n",
+			l.PerNode, l.Applied, l.Clusters, l.TrueTypes, l.PairwiseF1, l.FieldF1)
+	}
+	return b.String()
+}

@@ -1,0 +1,247 @@
+package codegen
+
+import (
+	"fmt"
+
+	"protoobf/internal/graph"
+)
+
+// sample is the value SelfTest assigns to one user field.
+type sample struct {
+	node  *graph.Node
+	u     uint64
+	b     []byte
+	bytes bool
+}
+
+// selfTest emits a generated SelfTest() that builds a sample message
+// through the public accessors, serializes it, parses the result and
+// compares every field — proving the generated library round-trips.
+func (gen *generator) selfTest() error {
+	plan, err := gen.planSelfTest()
+	if err != nil {
+		return err
+	}
+	gen.p("// SelfTest builds a sample message, serializes, parses and compares.\n// It returns nil when the generated library round-trips correctly.\nfunc SelfTest() error {\n")
+	gen.p("\tm := New()\n")
+
+	// Enable optionals (outer to inner DFS order).
+	for _, n := range plan.enables {
+		gen.p("\tif err := m.Enable%s(); err != nil {\n\t\treturn err\n\t}\n", goName(n.Origin.Name))
+	}
+	// Scalar fields.
+	for _, s := range plan.scalars {
+		name := goName(s.node.Origin.Name)
+		if s.bytes {
+			gen.p("\tif err := m.Set%s(%s); err != nil {\n\t\treturn err\n\t}\n", name, byteLit(s.b))
+		} else {
+			gen.p("\tif err := m.Set%s(%d); err != nil {\n\t\treturn err\n\t}\n", name, s.u)
+		}
+	}
+	// Containers: two items each.
+	for ci, c := range plan.containers {
+		cname := goName(c.node.Origin.Name)
+		for item := 0; item < 2; item++ {
+			iv := fmt.Sprintf("it%d_%d", ci, item)
+			gen.p("\t%s, err := m.Add%s()\n\tif err != nil {\n\t\treturn err\n\t}\n", iv, cname)
+			for _, s := range c.fields {
+				name := goName(s.node.Origin.Name)
+				if s.bytes {
+					gen.p("\tif err := %s.Set%s(%s); err != nil {\n\t\treturn err\n\t}\n", iv, name, byteLit(s.b))
+				} else {
+					gen.p("\tif err := %s.Set%s(%d); err != nil {\n\t\treturn err\n\t}\n", iv, name, s.u+uint64(item))
+				}
+			}
+		}
+	}
+
+	gen.p("\n\tdata, err := m.Serialize()\n\tif err != nil {\n\t\treturn fmt.Errorf(\"serialize: %%v\", err)\n\t}\n")
+	gen.p("\tback, err := Parse(data)\n\tif err != nil {\n\t\treturn fmt.Errorf(\"parse: %%v\", err)\n\t}\n\t_ = back\n\n")
+
+	// Compare scalars.
+	for si, s := range plan.scalars {
+		name := goName(s.node.Origin.Name)
+		gv := fmt.Sprintf("g%d", si)
+		if s.bytes {
+			gen.p("\t%s, err := back.Get%s()\n\tif err != nil {\n\t\treturn err\n\t}\n\tif !bytes.Equal(%s, %s) {\n\t\treturn fmt.Errorf(\"field %s: got %%x\", %s)\n\t}\n",
+				gv, name, gv, byteLit(s.b), s.node.Origin.Name, gv)
+		} else {
+			gen.p("\t%s, err := back.Get%s()\n\tif err != nil {\n\t\treturn err\n\t}\n\tif %s != %d {\n\t\treturn fmt.Errorf(\"field %s: got %%d want %d\", %s)\n\t}\n",
+				gv, name, gv, s.u, s.node.Origin.Name, s.u, gv)
+		}
+	}
+	// Compare containers.
+	for ci, c := range plan.containers {
+		cname := goName(c.node.Origin.Name)
+		gen.p("\tif n, err := back.Count%s(); err != nil || n != 2 {\n\t\treturn fmt.Errorf(\"container %s: %%d items, %%v\", n, err)\n\t}\n", cname, c.node.Origin.Name)
+		for item := 0; item < 2; item++ {
+			iv := fmt.Sprintf("b%d_%d", ci, item)
+			gen.p("\t%s, err := back.Item%sAt(%d)\n\tif err != nil {\n\t\treturn err\n\t}\n", iv, cname, item)
+			for fi, s := range c.fields {
+				name := goName(s.node.Origin.Name)
+				gv := fmt.Sprintf("gc%d_%d_%d", ci, item, fi)
+				if s.bytes {
+					gen.p("\t%s, err := %s.Get%s()\n\tif err != nil {\n\t\treturn err\n\t}\n\tif !bytes.Equal(%s, %s) {\n\t\treturn fmt.Errorf(\"item field %s: got %%x\", %s)\n\t}\n",
+						gv, iv, name, gv, byteLit(s.b), s.node.Origin.Name, gv)
+				} else {
+					gen.p("\t%s, err := %s.Get%s()\n\tif err != nil {\n\t\treturn err\n\t}\n\tif %s != %d {\n\t\treturn fmt.Errorf(\"item field %s: got %%d\", %s)\n\t}\n",
+						gv, iv, name, gv, s.u+uint64(item), s.node.Origin.Name, gv)
+				}
+			}
+		}
+	}
+	gen.p("\treturn nil\n}\n")
+	return nil
+}
+
+type containerPlan struct {
+	node   *graph.Node
+	fields []sample
+}
+
+type testPlan struct {
+	enables    []*graph.Node
+	scalars    []sample
+	containers []containerPlan
+}
+
+// planSelfTest decides which optionals to enable, which guard values to
+// assign and which sample value every reachable user field receives.
+func (gen *generator) planSelfTest() (*testPlan, error) {
+	plan := &testPlan{}
+	guardU := map[string]uint64{}
+	guardB := map[string][]byte{}
+	enabled := map[*graph.Node]bool{} // Optional nodes chosen enabled
+
+	// First pass: decide optional enables in DFS order.
+	gen.g.Walk(func(n *graph.Node) bool {
+		if n.Kind != graph.Optional {
+			return true
+		}
+		c := n.Cond
+		if c.IsBytes {
+			v, assigned := guardB[c.Ref]
+			if !assigned {
+				want := append([]byte(nil), c.BytesVal...)
+				if c.Op == graph.CondNe {
+					want = append(want, 'A')
+				}
+				target := gen.g.FindOriginal(c.Ref)
+				if target != nil && len(want) < target.MinLen {
+					// Cannot satisfy the predicate and the length
+					// contract at once; leave disabled with a padded
+					// value.
+					for len(want) < target.MinLen {
+						want = append(want, 'A')
+					}
+					if c.Op == graph.CondEq {
+						guardB[c.Ref] = want
+						return true // disabled
+					}
+				}
+				guardB[c.Ref] = want
+				v = want
+			}
+			eq := string(v) == string(c.BytesVal)
+			on := eq == (c.Op == graph.CondEq)
+			if on {
+				enabled[n] = true
+			}
+			return true
+		}
+		v, assigned := guardU[c.Ref]
+		if !assigned {
+			v = c.UintVal
+			if c.Op == graph.CondNe {
+				v = c.UintVal + 1
+			}
+			guardU[c.Ref] = v
+		}
+		eq := v == c.UintVal
+		if eq == (c.Op == graph.CondEq) {
+			enabled[n] = true
+		}
+		return true
+	})
+
+	// reachable reports whether every Optional ancestor is enabled.
+	reachable := func(n *graph.Node) bool {
+		for cur := n.Parent; cur != nil; cur = cur.Parent {
+			if cur.Kind == graph.Optional && !enabled[cur] {
+				return false
+			}
+		}
+		return true
+	}
+
+	gen.g.Walk(func(n *graph.Node) bool {
+		if n.Kind == graph.Optional && enabled[n] && containerOf(n) == nil && reachable(n) {
+			plan.enables = append(plan.enables, n)
+		}
+		return true
+	})
+
+	// Sample values for user fields.
+	sampleFor := func(n *graph.Node) sample {
+		name := n.Origin.Name
+		if isBytesNode(n) {
+			if v, ok := guardB[name]; ok {
+				return sample{node: n, b: v, bytes: true}
+			}
+			ln := n.MinLen
+			switch {
+			case n.Boundary.Kind == graph.Fixed:
+				ln = n.Boundary.Size
+			case n.Comb != nil && n.Comb.Kind == graph.CombCat && n.Comb.Width > 0:
+				// A split fixed-size field: the original width survives
+				// in the combine recipe.
+				ln = n.Comb.Width
+			case ln < 3:
+				ln = 3
+			}
+			fill := byte('A')
+			for _, c := range n.Boundary.Delim {
+				if c == fill {
+					fill = 'z'
+					break
+				}
+			}
+			b := make([]byte, ln)
+			for i := range b {
+				b[i] = fill
+			}
+			return sample{node: n, b: b, bytes: true}
+		}
+		if v, ok := guardU[name]; ok {
+			return sample{node: n, u: v}
+		}
+		return sample{node: n, u: 7}
+	}
+
+	containers := map[*graph.Node]*containerPlan{}
+	var order []*graph.Node
+	for _, f := range gen.userFields() {
+		if !reachable(f) {
+			continue
+		}
+		cont := containerOf(f)
+		if cont == nil {
+			plan.scalars = append(plan.scalars, sampleFor(f))
+			continue
+		}
+		if !reachable(cont) {
+			continue
+		}
+		cp, ok := containers[cont]
+		if !ok {
+			cp = &containerPlan{node: cont}
+			containers[cont] = cp
+			order = append(order, cont)
+		}
+		cp.fields = append(cp.fields, sampleFor(f))
+	}
+	for _, c := range order {
+		plan.containers = append(plan.containers, *containers[c])
+	}
+	return plan, nil
+}

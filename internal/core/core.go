@@ -1,0 +1,117 @@
+// Package core is the orchestration layer of the ProtoObf framework
+// (paper §IV, figure 2): it ties the specification front-end, the
+// obfuscating transformation engine, the runtime serializer/parser and
+// the source-code generator together behind one Protocol type.
+//
+// The pipeline is exactly the paper's:
+//
+//	specification S ──spec.Parse──▶ G1 ──transform.Obfuscate──▶ Gn+1
+//	Gn+1 ──codegen.Generate──▶ parser/serializer/accessor source
+//	Gn+1 + message AST ──wire.Serialize/Parse──▶ obfuscated bytes
+package core
+
+import (
+	"fmt"
+
+	"protoobf/internal/codegen"
+	"protoobf/internal/graph"
+	"protoobf/internal/msgtree"
+	"protoobf/internal/rng"
+	"protoobf/internal/spec"
+	"protoobf/internal/transform"
+	"protoobf/internal/wire"
+)
+
+// Protocol is a compiled (and possibly obfuscated) message format.
+type Protocol struct {
+	// Original is G1, the graph of the plain specification.
+	Original *graph.Graph
+	// Graph is G_{n+1}, the transformed graph (== Original when no
+	// obfuscation was applied).
+	Graph *graph.Graph
+	// Applied lists the applied transformations.
+	Applied []transform.Applied
+	// Rejected counts rolled-back transformation attempts.
+	Rejected int
+	// Seed is the obfuscation seed; the same (spec, seed, options) pair
+	// always yields the same protocol.
+	Seed int64
+
+	rng *rng.R
+}
+
+// ObfuscationOptions selects the transformation workload.
+type ObfuscationOptions struct {
+	// PerNode is the maximum number of obfuscations per graph node
+	// (0 disables obfuscation; the paper evaluates 0..4).
+	PerNode int
+	// Seed drives transformation selection and instantiation.
+	Seed int64
+	// Only/Exclude restrict the generic transformation catalog
+	// (ablation studies).
+	Only    []string
+	Exclude []string
+}
+
+// Compile parses a specification and applies the requested obfuscation.
+func Compile(source string, opts ObfuscationOptions) (*Protocol, error) {
+	g1, err := spec.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	return Obfuscate(g1, opts)
+}
+
+// Obfuscate derives a Protocol from an existing message format graph.
+func Obfuscate(g1 *graph.Graph, opts ObfuscationOptions) (*Protocol, error) {
+	r := rng.New(opts.Seed)
+	res, err := transform.Obfuscate(g1, transform.Options{
+		PerNode: opts.PerNode,
+		Only:    opts.Only,
+		Exclude: opts.Exclude,
+	}, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Protocol{
+		Original: g1.Clone(),
+		Graph:    res.Graph,
+		Applied:  res.Applied,
+		Rejected: res.Rejected,
+		Seed:     opts.Seed,
+		rng:      r.Split(),
+	}, nil
+}
+
+// NewMessage returns an empty message AST for the protocol.
+func (p *Protocol) NewMessage() *msgtree.Message {
+	return msgtree.New(p.Graph, p.rng.Split())
+}
+
+// Serialize renders a message to obfuscated wire bytes.
+func (p *Protocol) Serialize(m *msgtree.Message) ([]byte, error) {
+	return wire.Serialize(m)
+}
+
+// Parse rebuilds a message AST from obfuscated wire bytes.
+func (p *Protocol) Parse(data []byte) (*msgtree.Message, error) {
+	return wire.Parse(p.Graph, data, p.rng.Split())
+}
+
+// GenerateSource emits the standalone Go protocol library for the
+// transformed graph (parser, serializer, accessors, SelfTest).
+func (p *Protocol) GenerateSource(pkg string) (string, error) {
+	return codegen.Generate(p.Graph, codegen.Options{Package: pkg, Seed: p.Seed})
+}
+
+// Trace renders the applied transformations, one per line.
+func (p *Protocol) Trace() string {
+	res := transform.Result{Applied: p.Applied}
+	return res.Trace()
+}
+
+// Summary describes the protocol in one line.
+func (p *Protocol) Summary() string {
+	return fmt.Sprintf("protocol %s: %d nodes (%d original), %d transformations applied, seed %d",
+		p.Graph.ProtocolName, p.Graph.NodeCount(), p.Original.NodeCount(), len(p.Applied), p.Seed)
+}

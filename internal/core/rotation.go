@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Rotation implements the deployment model sketched in the paper's
+// conclusion: "new obfuscated versions of the protocol can be easily
+// generated [...] The deployment of new versions, at regular intervals,
+// should decrease the likelihood that the protocol can be successfully
+// reversed."
+//
+// Each epoch deterministically derives a fresh protocol version from
+// (spec, master seed, epoch), so that independently deployed peers agree
+// on the dialect of any epoch without coordination beyond a shared
+// epoch counter (e.g. derived from coarse wall-clock time).
+type Rotation struct {
+	source string
+	opts   ObfuscationOptions
+
+	mu    sync.Mutex
+	cache map[uint64]*Protocol
+}
+
+// NewRotation validates the specification once and prepares the epoch
+// cache. opts.Seed acts as the master seed; opts.PerNode/Only/Exclude
+// apply to every version.
+func NewRotation(source string, opts ObfuscationOptions) (*Rotation, error) {
+	// Compile epoch 0 eagerly so configuration errors surface here.
+	probe := opts
+	probe.Seed = deriveSeed(opts.Seed, 0)
+	p, err := Compile(source, probe)
+	if err != nil {
+		return nil, fmt.Errorf("rotation: %w", err)
+	}
+	r := &Rotation{source: source, opts: opts, cache: map[uint64]*Protocol{0: p}}
+	return r, nil
+}
+
+// Version returns the protocol of the given epoch, compiling it on first
+// use. Versions are cached; the same epoch always yields the same
+// transformed graph on every peer.
+func (r *Rotation) Version(epoch uint64) (*Protocol, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.cache[epoch]; ok {
+		return p, nil
+	}
+	opts := r.opts
+	opts.Seed = deriveSeed(r.opts.Seed, epoch)
+	p, err := Compile(r.source, opts)
+	if err != nil {
+		return nil, fmt.Errorf("rotation epoch %d: %w", epoch, err)
+	}
+	r.cache[epoch] = p
+	return p, nil
+}
+
+// deriveSeed mixes the master seed and the epoch with an
+// SplitMix64-style finalizer so adjacent epochs yield unrelated
+// transformation selections.
+func deriveSeed(master int64, epoch uint64) int64 {
+	z := uint64(master) + 0x9E3779B97F4A7C15*(epoch+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z >> 1) // keep it positive for readability in summaries
+}

@@ -1,0 +1,47 @@
+// Package frame implements the length-prefixed transport framing the
+// core applications use on TCP streams. Obfuscated messages are not
+// self-framing (the transformed format may end with variable padding or
+// End-bounded fields), so the transport adds a 4-byte big-endian length.
+// This is a transport concern, deliberately outside the message format
+// that the obfuscation transforms.
+package frame
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a single message on the wire.
+const MaxFrame = 1 << 20
+
+// Write writes one length-prefixed message.
+func Write(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("frame: payload of %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Read reads one length-prefixed message.
+func Read(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("frame: length %d exceeds limit %d", n, MaxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

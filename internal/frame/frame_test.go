@@ -1,0 +1,83 @@
+package frame
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)} {
+		buf.Reset()
+		if err := Write(&buf, payload); err != nil {
+			t.Fatalf("Write(%d bytes): %v", len(payload), err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("round trip mismatch for %d bytes", len(payload))
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		var buf bytes.Buffer
+		if err := Write(&buf, payload); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOversized(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, make([]byte, MaxFrame+1)); err == nil {
+		t.Error("oversized write accepted")
+	}
+	// A forged oversized header is rejected before allocation.
+	hdr := bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := Read(hdr); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized header: %v", err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	// Header cut short.
+	if _, err := Read(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Error("short header accepted")
+	}
+	// Payload cut short.
+	var buf bytes.Buffer
+	if err := Write(&buf, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-2]
+	if _, err := Read(bytes.NewReader(short)); err != io.ErrUnexpectedEOF {
+		t.Errorf("short payload: %v", err)
+	}
+}
+
+func TestMultipleFramesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := Write(&buf, []byte{byte(i), byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		got, err := Read(&buf)
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("frame %d: %x, %v", i, got, err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz DOT format, using the paper's
+// notation for node kinds and boundaries (figure 3). Reference edges
+// (Length, Counter, presence predicates) are drawn dashed.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.ProtocolName)
+	b.WriteString("  node [shape=box, fontsize=10];\n")
+	g.Walk(func(n *Node) bool {
+		label := fmt.Sprintf("%s\\n%v %v", n.Name, n.Kind, n.Boundary)
+		var marks []string
+		if n.Reversed {
+			marks = append(marks, "rev")
+		}
+		if n.Comb != nil {
+			marks = append(marks, "comb:"+n.Comb.Kind.String())
+		}
+		if n.Pair != nil {
+			marks = append(marks, "pair")
+		}
+		if n.AutoFill {
+			marks = append(marks, "auto")
+		}
+		if len(n.Ops) > 0 {
+			marks = append(marks, fmt.Sprintf("ops:%d", len(n.Ops)))
+		}
+		if len(marks) > 0 {
+			label += "\\n[" + strings.Join(marks, ",") + "]"
+		}
+		fmt.Fprintf(&b, "  %q [label=\"%s\"];\n", n.Name, label)
+		for _, c := range n.Children {
+			fmt.Fprintf(&b, "  %q -> %q;\n", n.Name, c.Name)
+		}
+		if ref := n.Boundary.Ref; ref != "" {
+			if t := g.FindOriginal(ref); t != nil {
+				fmt.Fprintf(&b, "  %q -> %q [style=dashed, label=%q];\n", n.Name, t.Name, n.Boundary.Kind.String())
+			}
+		}
+		if n.Kind == Optional {
+			if t := g.FindOriginal(n.Cond.Ref); t != nil {
+				fmt.Fprintf(&b, "  %q -> %q [style=dashed, label=\"when\"];\n", n.Name, t.Name)
+			}
+		}
+		return true
+	})
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// expectInvalid asserts that mutate breaks the sample graph in a way the
+// validator reports, with a message containing want.
+func expectInvalid(t *testing.T, want string, mutate func(g *Graph)) {
+	t.Helper()
+	g := sampleGraph(t)
+	mutate(g)
+	err := g.Validate()
+	if err == nil {
+		t.Fatalf("graph accepted, want error containing %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err, want)
+	}
+}
+
+func TestValidateDuplicateName(t *testing.T) {
+	expectInvalid(t, "duplicate name", func(g *Graph) {
+		g.Find("hval").Name = "hname"
+	})
+}
+
+func TestValidateArity(t *testing.T) {
+	expectInvalid(t, "terminal with", func(g *Graph) {
+		g.Find("kind").Children = []*Node{term("sub", EncUint, fixed(1))}
+	})
+	expectInvalid(t, "must have exactly one child", func(g *Graph) {
+		items := g.Find("items")
+		items.Children = append(items.Children, term("extra2", EncUint, fixed(1)))
+	})
+	expectInvalid(t, "sequence without children", func(g *Graph) {
+		g.Find("hdr").Children = nil
+	})
+}
+
+func TestValidateBoundaryRules(t *testing.T) {
+	expectInvalid(t, "fixed boundary with size 0", func(g *Graph) {
+		g.Find("magic").Boundary.Size = 0
+	})
+	expectInvalid(t, "empty delimiter", func(g *Graph) {
+		g.Find("name").Boundary.Delim = nil
+	})
+	expectInvalid(t, "not allowed on", func(g *Graph) {
+		g.Find("payload").Boundary = fixed(4)
+	})
+	expectInvalid(t, "not allowed on", func(g *Graph) {
+		g.Find("items").Boundary = Boundary{Kind: End}
+	})
+	expectInvalid(t, "without reference", func(g *Graph) {
+		g.Find("payload").Boundary = Boundary{Kind: Length}
+	})
+}
+
+func TestValidateTerminalRules(t *testing.T) {
+	expectInvalid(t, "uint terminal requires a fixed boundary", func(g *Graph) {
+		g.Find("kind").Boundary = delim(";")
+	})
+	expectInvalid(t, "width 3 not in", func(g *Graph) {
+		g.Find("plen").Boundary.Size = 3
+	})
+	expectInvalid(t, "without encoding", func(g *Graph) {
+		g.Find("magic").Enc = 0
+	})
+	expectInvalid(t, "integer op", func(g *Graph) {
+		g.Find("magic").Ops = []ValueOp{{Kind: OpAdd, K: 3}}
+	})
+	expectInvalid(t, "empty key", func(g *Graph) {
+		g.Find("name").Ops = []ValueOp{{Kind: OpByteXor}}
+	})
+}
+
+func TestValidateRefRules(t *testing.T) {
+	expectInvalid(t, "does not resolve", func(g *Graph) {
+		g.Find("payload").Boundary.Ref = "ghost"
+	})
+	expectInvalid(t, "is not an integer field", func(g *Graph) {
+		g.Find("payload").Boundary.Ref = "magic"
+	})
+	expectInvalid(t, "is not auto-filled", func(g *Graph) {
+		g.Find("plen").AutoFill = false
+	})
+	// A length field moved after its dependent must be rejected.
+	expectInvalid(t, "parses at or after", func(g *Graph) {
+		root := g.Root
+		// move plen (index 2) after payload (index 3)
+		root.Children[2], root.Children[3] = root.Children[3], root.Children[2]
+		g.Rebuild()
+	})
+}
+
+func TestValidateCondRules(t *testing.T) {
+	expectInvalid(t, "presence reference \"ghost\"", func(g *Graph) {
+		g.Find("maybe").Cond.Ref = "ghost"
+	})
+	expectInvalid(t, "compares an integer but", func(g *Graph) {
+		g.Find("maybe").Cond.Ref = "magic"
+	})
+	expectInvalid(t, "is auto-filled", func(g *Graph) {
+		g.Find("maybe").Cond.Ref = "plen"
+	})
+	expectInvalid(t, "compares bytes", func(g *Graph) {
+		c := &g.Find("maybe").Cond
+		c.IsBytes = true
+		c.BytesVal = []byte("x")
+	})
+}
+
+func TestValidateEndExtent(t *testing.T) {
+	// An End-bounded terminal that is not last in its sequence.
+	expectInvalid(t, "not last in sequence", func(g *Graph) {
+		root := g.Root
+		// move body (last) before hdrs
+		n := len(root.Children)
+		root.Children[n-1], root.Children[n-2] = root.Children[n-2], root.Children[n-1]
+		g.Rebuild()
+	})
+	// An End-bounded node inside a repetition would eat every item.
+	expectInvalid(t, "would consume all items", func(g *Graph) {
+		g.Find("hval").Boundary = Boundary{Kind: End}
+		// keep it last in hdr: drop hname
+		hdr := g.Find("hdr")
+		hdr.Children = hdr.Children[1:]
+		g.Rebuild()
+	})
+	// An End-bounded node directly inside a delimited sequence.
+	expectInvalid(t, "inside delimited region", func(g *Graph) {
+		s := seq("ds", term("v", EncBytes, Boundary{Kind: End}))
+		s.Boundary = delim("$")
+		root := g.Root
+		root.Children = append(root.Children[:5:5], s)
+		// body was End and last; now ds is last, and v is End inside ds.
+		g.Rebuild()
+	})
+}
+
+func TestValidateReversedExtent(t *testing.T) {
+	// Reversing a delimited terminal has no computable extent.
+	expectInvalid(t, "no computable extent", func(g *Graph) {
+		g.Find("name").Reversed = true
+	})
+	// Reversing a fixed terminal is fine.
+	g := sampleGraph(t)
+	g.Find("magic").Reversed = true
+	if err := g.Validate(); err != nil {
+		t.Errorf("reversed fixed terminal rejected: %v", err)
+	}
+	// Reversing a Length-bounded sequence is fine.
+	g = sampleGraph(t)
+	g.Find("payload").Reversed = true
+	if err := g.Validate(); err != nil {
+		t.Errorf("reversed length-bounded sequence rejected: %v", err)
+	}
+	// Reversing the End-bounded final terminal is fine (region = message).
+	g = sampleGraph(t)
+	g.Find("body").Reversed = true
+	if err := g.Validate(); err != nil {
+		t.Errorf("reversed end terminal rejected: %v", err)
+	}
+}
+
+func TestValidateRepPrefixSafety(t *testing.T) {
+	// Pad at item start of a delimited repetition.
+	expectInvalid(t, "starts with pad", func(g *Graph) {
+		hdr := g.Find("hdr")
+		pad := term("pad1", EncBytes, fixed(2))
+		pad.Origin = Origin{Role: RolePad}
+		hdr.Children = append([]*Node{pad}, hdr.Children...)
+		g.Rebuild()
+	})
+	// Integer field at item start.
+	expectInvalid(t, "starts with integer field", func(g *Graph) {
+		hdr := g.Find("hdr")
+		hdr.Children = append([]*Node{term("n1", EncUint, fixed(2))}, hdr.Children...)
+		g.Rebuild()
+	})
+	// Transformed field at item start.
+	expectInvalid(t, "starts with transformed field", func(g *Graph) {
+		g.Find("hname").Ops = []ValueOp{{Kind: OpByteXor, KB: []byte{1}}}
+	})
+	// Reversed region at item start.
+	expectInvalid(t, "reversed region", func(g *Graph) {
+		hdr := g.Find("hdr")
+		f := term("f1", EncBytes, fixed(2))
+		f.Reversed = true
+		hdr.Children = append([]*Node{f}, hdr.Children...)
+		g.Rebuild()
+	})
+	// Optional subtree at item start.
+	expectInvalid(t, "starts with optional subtree", func(g *Graph) {
+		hdr := g.Find("hdr")
+		opt := &Node{Name: "o1", Kind: Optional, Boundary: Boundary{Kind: Delegated},
+			Cond:     Cond{Ref: "kind", Op: CondEq, UintVal: 1},
+			Children: []*Node{term("ov", EncBytes, fixed(1))}}
+		hdr.Children = append([]*Node{opt}, hdr.Children...)
+		g.Rebuild()
+	})
+}
+
+func TestValidateCombRules(t *testing.T) {
+	expectInvalid(t, "two-child sequence", func(g *Graph) {
+		g.Find("payload").Comb = &Combine{Kind: CombAdd, Width: 2}
+	})
+	expectInvalid(t, "combine width", func(g *Graph) {
+		s := g.Find("hdr")
+		s.Comb = &Combine{Kind: CombAdd, Width: 0}
+	})
+	expectInvalid(t, "cat split offset", func(g *Graph) {
+		s := g.Find("hdr")
+		s.Comb = &Combine{Kind: CombCat}
+	})
+}
+
+func TestValidateAcceptsSample(t *testing.T) {
+	g := sampleGraph(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidationErrorFormat(t *testing.T) {
+	e := &ValidationError{Node: "x", Msg: "boom"}
+	if !strings.Contains(e.Error(), `node "x"`) {
+		t.Errorf("Error() = %q", e.Error())
+	}
+	e2 := &ValidationError{Msg: "top"}
+	if e2.Error() != "graph: top" {
+		t.Errorf("Error() = %q", e2.Error())
+	}
+}

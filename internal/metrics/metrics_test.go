@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"testing"
+
+	"protoobf/internal/codegen"
+	"protoobf/internal/protocols/modbus"
+	"protoobf/internal/rng"
+	"protoobf/internal/transform"
+)
+
+const tiny = `package p
+
+type A struct{ X int }
+type B struct{ Y int }
+type notStruct int
+
+func Parse() { a(); b() }
+func a()     { c() }
+func b()     { c() }
+func c()     {}
+func unreached() { a() }
+`
+
+func TestAnalyzeTiny(t *testing.T) {
+	p, err := Analyze(tiny, "Parse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Structs != 2 {
+		t.Errorf("Structs = %d, want 2", p.Structs)
+	}
+	if p.Funcs != 5 {
+		t.Errorf("Funcs = %d, want 5", p.Funcs)
+	}
+	// Reachable: Parse, a, b, c.
+	if p.CallGraphSize != 4 {
+		t.Errorf("CallGraphSize = %d, want 4", p.CallGraphSize)
+	}
+	// Parse -> a -> c: depth 3.
+	if p.CallGraphDepth != 3 {
+		t.Errorf("CallGraphDepth = %d, want 3", p.CallGraphDepth)
+	}
+	if p.Lines == 0 {
+		t.Error("Lines = 0")
+	}
+}
+
+func TestAnalyzeCycle(t *testing.T) {
+	src := `package p
+func Parse() { a() }
+func a()     { b() }
+func b()     { a() }
+`
+	p, err := Analyze(src, "Parse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CallGraphSize != 3 {
+		t.Errorf("CallGraphSize = %d, want 3", p.CallGraphSize)
+	}
+	if p.CallGraphDepth < 3 {
+		t.Errorf("CallGraphDepth = %d, want >= 3", p.CallGraphDepth)
+	}
+}
+
+func TestAnalyzeMethods(t *testing.T) {
+	src := `package p
+type T struct{}
+func (t *T) Run() { helper() }
+func helper()     {}
+func Parse()      { t := &T{}; t.Run() }
+`
+	p, err := Analyze(src, "Parse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CallGraphSize != 3 {
+		t.Errorf("CallGraphSize = %d, want 3 (Parse, T.Run, helper)", p.CallGraphSize)
+	}
+}
+
+func TestAnalyzeBadSource(t *testing.T) {
+	if _, err := Analyze("not go", "Parse"); err == nil {
+		t.Error("invalid source accepted")
+	}
+}
+
+func TestRatioAgainstBaseline(t *testing.T) {
+	base := Potency{Lines: 100, Structs: 10, CallGraphSize: 20, CallGraphDepth: 5}
+	obf := Potency{Lines: 200, Structs: 18, CallGraphSize: 52, CallGraphDepth: 10}
+	r := obf.Ratio(base)
+	if r.Lines != 2.0 || r.Structs != 1.8 || r.CallGraphSize != 2.6 || r.CallGraphDepth != 2.0 {
+		t.Errorf("Ratio = %+v", r)
+	}
+	zero := obf.Ratio(Potency{})
+	if zero.Lines != 0 {
+		t.Error("division by zero not guarded")
+	}
+}
+
+// TestPotencyGrowsWithObfuscation reproduces the qualitative claim of the
+// paper's tables III/IV on the Modbus request library: every potency
+// metric increases under obfuscation.
+func TestPotencyGrowsWithObfuscation(t *testing.T) {
+	g, err := modbus.RequestGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSrc, err := codegen.Generate(g, codegen.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Analyze(plainSrc, "Parse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transform.Obfuscate(g, transform.Options{PerNode: 1}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obfSrc, err := codegen.Generate(res.Graph, codegen.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obf, err := Analyze(obfSrc, "Parse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := obf.Ratio(base)
+	t.Logf("modbus request at 1/node: lines %.2fx structs %.2fx cgsize %.2fx cgdepth %.2fx (%d transformations)",
+		r.Lines, r.Structs, r.CallGraphSize, r.CallGraphDepth, len(res.Applied))
+	if r.Lines <= 1.0 || r.Structs <= 1.0 || r.CallGraphSize <= 1.0 {
+		t.Errorf("potency did not grow: %+v", r)
+	}
+	if r.CallGraphDepth < 1.0 {
+		t.Errorf("call graph depth shrank: %v", r.CallGraphDepth)
+	}
+}

@@ -1,0 +1,125 @@
+// Package pre implements a classic network-trace protocol reverse
+// engineering (PRE) baseline in the style of the PI project and Netzob
+// (paper §II-B): sequence alignment for message similarity, hierarchical
+// clustering for message-type classification, and alignment-based field
+// inference. It is the measurable stand-in for the paper's §VII-D expert
+// study: scoring this tool on plain vs obfuscated traces quantifies the
+// resilience of the obfuscation.
+package pre
+
+// Needleman–Wunsch scoring parameters (match/mismatch/gap), the classic
+// values used by bioinformatics-inspired PRE tools.
+const (
+	scoreMatch    = 1
+	scoreMismatch = -1
+	scoreGap      = -1
+)
+
+// Alignment is the result of a global pairwise alignment: the aligned
+// index pairs and the similarity.
+type Alignment struct {
+	// PairsA[i] / PairsB[i] are matched positions; -1 marks a gap.
+	PairsA, PairsB []int
+	// Matches counts identical aligned bytes.
+	Matches int
+	// Score is the raw Needleman–Wunsch score.
+	Score int
+}
+
+// Similarity returns 2*matches/(len(a)+len(b)) in [0,1].
+func (al *Alignment) Similarity(lenA, lenB int) float64 {
+	if lenA+lenB == 0 {
+		return 1
+	}
+	return 2 * float64(al.Matches) / float64(lenA+lenB)
+}
+
+// Align computes the global alignment of two byte sequences.
+func Align(a, b []byte) *Alignment {
+	n, m := len(a), len(b)
+	// Score matrix, row-major (n+1) x (m+1).
+	score := make([]int, (n+1)*(m+1))
+	idx := func(i, j int) int { return i*(m+1) + j }
+	for i := 1; i <= n; i++ {
+		score[idx(i, 0)] = i * scoreGap
+	}
+	for j := 1; j <= m; j++ {
+		score[idx(0, j)] = j * scoreGap
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			d := score[idx(i-1, j-1)]
+			if a[i-1] == b[j-1] {
+				d += scoreMatch
+			} else {
+				d += scoreMismatch
+			}
+			up := score[idx(i-1, j)] + scoreGap
+			left := score[idx(i, j-1)] + scoreGap
+			best := d
+			if up > best {
+				best = up
+			}
+			if left > best {
+				best = left
+			}
+			score[idx(i, j)] = best
+		}
+	}
+	// Traceback.
+	al := &Alignment{Score: score[idx(n, m)]}
+	var ra, rb []int
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && score[idx(i, j)] == score[idx(i-1, j-1)]+matchScore(a[i-1], b[j-1]):
+			if a[i-1] == b[j-1] {
+				al.Matches++
+			}
+			ra = append(ra, i-1)
+			rb = append(rb, j-1)
+			i--
+			j--
+		case i > 0 && score[idx(i, j)] == score[idx(i-1, j)]+scoreGap:
+			ra = append(ra, i-1)
+			rb = append(rb, -1)
+			i--
+		default:
+			ra = append(ra, -1)
+			rb = append(rb, j-1)
+			j--
+		}
+	}
+	// Reverse into forward order.
+	for k, l := 0, len(ra)-1; k < l; k, l = k+1, l-1 {
+		ra[k], ra[l] = ra[l], ra[k]
+		rb[k], rb[l] = rb[l], rb[k]
+	}
+	al.PairsA, al.PairsB = ra, rb
+	return al
+}
+
+func matchScore(x, y byte) int {
+	if x == y {
+		return scoreMatch
+	}
+	return scoreMismatch
+}
+
+// SimilarityMatrix computes pairwise similarities of a message set.
+func SimilarityMatrix(msgs [][]byte) [][]float64 {
+	n := len(msgs)
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+		sim[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			al := Align(msgs[i], msgs[j])
+			s := al.Similarity(len(msgs[i]), len(msgs[j]))
+			sim[i][j], sim[j][i] = s, s
+		}
+	}
+	return sim
+}

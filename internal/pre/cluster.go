@@ -1,0 +1,132 @@
+package pre
+
+// Cluster groups messages by UPGMA hierarchical clustering (average
+// linkage) on the similarity matrix, merging until no pair of clusters
+// exceeds the similarity threshold. This is the classification step of
+// alignment-based PRE tools (paper §II-A): its quality drives everything
+// downstream, which is exactly why the obfuscation targets it.
+func Cluster(sim [][]float64, threshold float64) [][]int {
+	n := len(sim)
+	if n == 0 {
+		return nil
+	}
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	// Average linkage between two clusters.
+	linkage := func(a, b []int) float64 {
+		total := 0.0
+		for _, i := range a {
+			for _, j := range b {
+				total += sim[i][j]
+			}
+		}
+		return total / float64(len(a)*len(b))
+	}
+	for len(clusters) > 1 {
+		bi, bj, best := -1, -1, threshold
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if l := linkage(clusters[i], clusters[j]); l >= best {
+					bi, bj, best = i, j, l
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		merged := append(append([]int{}, clusters[bi]...), clusters[bj]...)
+		next := make([][]int, 0, len(clusters)-1)
+		for k, c := range clusters {
+			if k != bi && k != bj {
+				next = append(next, c)
+			}
+		}
+		clusters = append(next, merged)
+	}
+	return clusters
+}
+
+// ClassificationScore evaluates clusters against ground-truth labels:
+// each cluster votes its majority label; accuracy is the fraction of
+// messages whose cluster vote matches their true label. PairwiseF1 is the
+// F1 over message pairs (same-cluster vs same-type), which penalizes both
+// over-clustering (each message alone: perfect "accuracy", zero recall)
+// and under-clustering — the two failure modes the obfuscation provokes
+// (paper §II-C3).
+type ClassificationScore struct {
+	Clusters   int
+	TrueTypes  int
+	Accuracy   float64
+	PairwiseF1 float64
+}
+
+// ScoreClassification computes the score of a clustering.
+func ScoreClassification(clusters [][]int, labels []int) ClassificationScore {
+	types := map[int]bool{}
+	for _, l := range labels {
+		types[l] = true
+	}
+	correct := 0
+	for _, c := range clusters {
+		votes := map[int]int{}
+		for _, i := range c {
+			votes[labels[i]]++
+		}
+		bestLabel, bestCount := 0, -1
+		for l, cnt := range votes {
+			if cnt > bestCount {
+				bestLabel, bestCount = l, cnt
+			}
+		}
+		for _, i := range c {
+			if labels[i] == bestLabel {
+				correct++
+			}
+		}
+	}
+	acc := 0.0
+	if len(labels) > 0 {
+		acc = float64(correct) / float64(len(labels))
+	}
+	return ClassificationScore{
+		Clusters:   len(clusters),
+		TrueTypes:  len(types),
+		Accuracy:   acc,
+		PairwiseF1: pairwiseF1(clusters, labels),
+	}
+}
+
+// pairwiseF1 scores clustering as a pair-classification problem: a pair
+// of messages is positive when it shares a true type; predicted positive
+// when it shares a cluster.
+func pairwiseF1(clusters [][]int, labels []int) float64 {
+	clusterOf := make([]int, len(labels))
+	for ci, c := range clusters {
+		for _, i := range c {
+			clusterOf[i] = ci
+		}
+	}
+	var tp, fp, fn float64
+	for i := 0; i < len(labels); i++ {
+		for j := i + 1; j < len(labels); j++ {
+			sameType := labels[i] == labels[j]
+			sameCluster := clusterOf[i] == clusterOf[j]
+			switch {
+			case sameType && sameCluster:
+				tp++
+			case !sameType && sameCluster:
+				fp++
+			case sameType && !sameCluster:
+				fn++
+			}
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	prec := tp / (tp + fp)
+	rec := tp / (tp + fn)
+	return 2 * prec * rec / (prec + rec)
+}

@@ -1,0 +1,149 @@
+package pre
+
+// Field inference: within one cluster, align every message against a
+// template (the longest member), classify template columns as static
+// (same byte across the cluster) or dynamic, and predict field boundaries
+// at the static/dynamic transitions — the core of alignment-based message
+// format inference (PI project, Netzob; paper §II-B).
+
+// FieldModel is the inferred format of one cluster.
+type FieldModel struct {
+	// Template is the index (into the cluster) of the template message.
+	Template int
+	// Static[i] tells whether template column i is constant.
+	Static []bool
+	// Boundaries are the predicted field-start offsets in the template.
+	Boundaries []int
+}
+
+// InferFields builds the field model of one cluster of messages.
+func InferFields(msgs [][]byte) *FieldModel {
+	if len(msgs) == 0 {
+		return &FieldModel{}
+	}
+	tmplIdx := 0
+	for i, m := range msgs {
+		if len(m) > len(msgs[tmplIdx]) {
+			tmplIdx = i
+		}
+	}
+	tmpl := msgs[tmplIdx]
+	static := make([]bool, len(tmpl))
+	seen := make([]int, len(tmpl))
+	for i := range static {
+		static[i] = true
+	}
+	for mi, m := range msgs {
+		if mi == tmplIdx {
+			for i := range tmpl {
+				seen[i]++
+			}
+			continue
+		}
+		al := Align(tmpl, m)
+		covered := make([]bool, len(tmpl))
+		for k := range al.PairsA {
+			ti, mi2 := al.PairsA[k], al.PairsB[k]
+			if ti < 0 {
+				continue
+			}
+			if mi2 < 0 {
+				// Gap in the other message: the column is not universal.
+				static[ti] = false
+				continue
+			}
+			covered[ti] = true
+			seen[ti]++
+			if tmpl[ti] != m[mi2] {
+				static[ti] = false
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				static[i] = false
+			}
+		}
+	}
+	var bounds []int
+	for i := range tmpl {
+		if i == 0 || static[i] != static[i-1] {
+			bounds = append(bounds, i)
+		}
+	}
+	return &FieldModel{Template: tmplIdx, Static: static, Boundaries: bounds}
+}
+
+// FieldScore compares predicted field boundaries against the ground
+// truth with a positional tolerance of zero (exact offsets).
+type FieldScore struct {
+	Predicted int
+	Truth     int
+	Hits      int
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// ScoreFields evaluates predicted boundary offsets against true ones.
+func ScoreFields(predicted, truth []int) FieldScore {
+	ps := map[int]bool{}
+	for _, p := range predicted {
+		ps[p] = true
+	}
+	ts := map[int]bool{}
+	for _, t := range truth {
+		ts[t] = true
+	}
+	hits := 0
+	for p := range ps {
+		if ts[p] {
+			hits++
+		}
+	}
+	s := FieldScore{Predicted: len(ps), Truth: len(ts), Hits: hits}
+	if len(ps) > 0 {
+		s.Precision = float64(hits) / float64(len(ps))
+	}
+	if len(ts) > 0 {
+		s.Recall = float64(hits) / float64(len(ts))
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	return s
+}
+
+// Analysis is the end-to-end result of running the PRE baseline on a
+// labeled trace.
+type Analysis struct {
+	Classification ClassificationScore
+	// FieldF1 is the boundary-inference F1 averaged over clusters
+	// (template messages), weighted by cluster size.
+	FieldF1 float64
+}
+
+// Run executes the full pipeline: similarity, clustering at threshold,
+// per-cluster field inference, scored against labels and true boundary
+// offsets (truth[i] lists the field-start offsets of message i).
+func Run(msgs [][]byte, labels []int, truth [][]int, threshold float64) Analysis {
+	sim := SimilarityMatrix(msgs)
+	clusters := Cluster(sim, threshold)
+	res := Analysis{Classification: ScoreClassification(clusters, labels)}
+	totalW := 0
+	sumF1 := 0.0
+	for _, c := range clusters {
+		sub := make([][]byte, len(c))
+		for k, i := range c {
+			sub[k] = msgs[i]
+		}
+		model := InferFields(sub)
+		tmplMsg := c[model.Template]
+		score := ScoreFields(model.Boundaries, truth[tmplMsg])
+		sumF1 += score.F1 * float64(len(c))
+		totalW += len(c)
+	}
+	if totalW > 0 {
+		res.FieldF1 = sumF1 / float64(totalW)
+	}
+	return res
+}

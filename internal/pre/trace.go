@@ -1,0 +1,59 @@
+package pre
+
+import (
+	"protoobf/internal/graph"
+	"protoobf/internal/protocols/modbus"
+	"protoobf/internal/rng"
+	"protoobf/internal/wire"
+)
+
+// ModbusTrace generates the labeled Modbus capture of the resilience
+// assessment (paper §VII-D): perType samples of four request types
+// (Read Coils, Read Holding Registers, Write Single Coil, Write Multiple
+// Registers) with realistic low-entropy field values, serialized through
+// graph g. It returns the raw messages, their type labels and the true
+// field-start offsets of every message.
+func ModbusTrace(g *graph.Graph, r *rng.R, perType int) (msgs [][]byte, labels []int, truth [][]int) {
+	fcs := []int{modbus.FcReadCoils, modbus.FcReadHolding, modbus.FcWriteCoil, modbus.FcWriteRegs}
+	for li, fc := range fcs {
+		for k := 0; k < perType; k++ {
+			req := modbus.Request{
+				TxID: uint16(r.Intn(1 << 8)), // low transaction ids, as in short captures
+				Unit: uint8(1 + r.Intn(4)),
+				Fc:   fc,
+				Addr: uint16(r.Intn(64)),
+			}
+			switch fc {
+			case modbus.FcReadCoils, modbus.FcReadHolding:
+				req.Qty = uint16(1 + r.Intn(12))
+			case modbus.FcWriteCoil:
+				if r.Intn(2) == 0 {
+					req.Val = 0xFF00
+				}
+			case modbus.FcWriteRegs:
+				req.Regs = make([]uint16, 2+r.Intn(3))
+				for i := range req.Regs {
+					req.Regs[i] = uint16(r.Intn(256)) // low register values
+				}
+			}
+			m, err := modbus.BuildRequest(g, r, req)
+			if err != nil {
+				// The graphs used here are validated; a build failure is
+				// a programming error in the caller.
+				panic(err)
+			}
+			data, spans, err := wire.SerializeWithSpans(m)
+			if err != nil {
+				panic(err)
+			}
+			bounds := make([]int, 0, len(spans))
+			for _, sp := range spans {
+				bounds = append(bounds, sp.Start)
+			}
+			msgs = append(msgs, data)
+			labels = append(labels, li)
+			truth = append(truth, bounds)
+		}
+	}
+	return msgs, labels, truth
+}

@@ -1,0 +1,144 @@
+package httpmsg
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"protoobf/internal/frame"
+	"protoobf/internal/graph"
+	"protoobf/internal/rng"
+	"protoobf/internal/wire"
+)
+
+// Server is the simplified HTTP core application serving the canned
+// content of RespondTo through a (possibly obfuscated) protocol library.
+type Server struct {
+	ReqGraph  *graph.Graph
+	RespGraph *graph.Graph
+	Rng       *rng.R
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// NewServer creates a server.
+func NewServer(reqG, respG *graph.Graph, seed int64) *Server {
+	return &Server{ReqGraph: reqG, RespGraph: respG, Rng: rng.New(seed)}
+}
+
+// Listen binds addr and serves until Close. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serveConn(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	err := s.ln.Close()
+	s.ln = nil
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	s.mu.Lock()
+	r := rng.New(s.Rng.Int63())
+	s.mu.Unlock()
+	for {
+		data, err := frame.Read(conn)
+		if err != nil {
+			return
+		}
+		reply, err := s.Handle(data, r)
+		if err != nil {
+			return
+		}
+		if err := frame.Write(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// Handle processes one serialized request and returns the serialized
+// response.
+func (s *Server) Handle(data []byte, r *rng.R) ([]byte, error) {
+	msg, err := wire.Parse(s.ReqGraph, data, r)
+	if err != nil {
+		return nil, fmt.Errorf("parse request: %w", err)
+	}
+	req, err := ExtractRequest(msg)
+	if err != nil {
+		return nil, fmt.Errorf("extract request: %w", err)
+	}
+	out, err := BuildResponse(s.RespGraph, r, RespondTo(req))
+	if err != nil {
+		return nil, fmt.Errorf("build response: %w", err)
+	}
+	return wire.Serialize(out)
+}
+
+// Client is the requesting side of the core application.
+type Client struct {
+	ReqGraph  *graph.Graph
+	RespGraph *graph.Graph
+	Rng       *rng.R
+	conn      net.Conn
+}
+
+// Dial connects to a server.
+func Dial(addr string, reqG, respG *graph.Graph, seed int64) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{ReqGraph: reqG, RespGraph: respG, Rng: rng.New(seed), conn: conn}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends a request and returns the decoded response.
+func (c *Client) Do(req Request) (Response, error) {
+	var resp Response
+	m, err := BuildRequest(c.ReqGraph, c.Rng, req)
+	if err != nil {
+		return resp, err
+	}
+	data, err := wire.Serialize(m)
+	if err != nil {
+		return resp, err
+	}
+	if err := frame.Write(c.conn, data); err != nil {
+		return resp, err
+	}
+	raw, err := frame.Read(c.conn)
+	if err != nil {
+		return resp, err
+	}
+	back, err := wire.Parse(c.RespGraph, raw, c.Rng)
+	if err != nil {
+		return resp, err
+	}
+	return ExtractResponse(back)
+}

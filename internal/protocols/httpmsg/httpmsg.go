@@ -1,0 +1,324 @@
+// Package httpmsg provides the simplified HTTP/1.1 message-format
+// specification used in the paper's evaluation (§VII): request line,
+// repeated headers, optional body — the text-protocol side of the model,
+// exercising Optional fields, Repetition fields and Delimited boundaries.
+//
+// As in the paper, the core application does not enforce semantic
+// consistency of header keywords; that is the server's concern, not the
+// parser's (§VII).
+package httpmsg
+
+import (
+	"fmt"
+	"strings"
+
+	"protoobf/internal/graph"
+	"protoobf/internal/msgtree"
+	"protoobf/internal/rng"
+	"protoobf/internal/spec"
+)
+
+// RequestSpec is the simplified HTTP request message format.
+const RequestSpec = `
+protocol http_request;
+root seq request end {
+    bytes method delim " " min 3;
+    bytes uri delim " " min 1;
+    bytes version delim "\r\n" min 8;
+    repeat headers until "\r\n" {
+        seq header {
+            bytes hname delim ": " min 1;
+            bytes hvalue delim "\r\n" min 1;
+        }
+    }
+    optional body when method == "POST" { bytes payload end; }
+}
+`
+
+// ResponseSpec is the simplified HTTP response message format. The status
+// code is an ASCII-encoded integer (EncASCII).
+const ResponseSpec = `
+protocol http_response;
+root seq response end {
+    bytes rversion delim " " min 8;
+    ascii status delim " ";
+    bytes reason delim "\r\n" min 2;
+    repeat rheaders until "\r\n" {
+        seq rheader {
+            bytes rhname delim ": " min 1;
+            bytes rhvalue delim "\r\n" min 1;
+        }
+    }
+    bytes rbody end;
+}
+`
+
+// RequestGraph parses the request specification.
+func RequestGraph() (*graph.Graph, error) { return spec.Parse(RequestSpec) }
+
+// ResponseGraph parses the response specification.
+func ResponseGraph() (*graph.Graph, error) { return spec.Parse(ResponseSpec) }
+
+// Header is one name/value pair.
+type Header struct {
+	Name  string
+	Value string
+}
+
+// Request is the logical content of a simplified HTTP request.
+type Request struct {
+	Method  string
+	URI     string
+	Version string
+	Headers []Header
+	// Body is serialized only for POST requests (the spec's presence
+	// predicate).
+	Body []byte
+}
+
+// Response is the logical content of a simplified HTTP response.
+type Response struct {
+	Version string
+	Status  uint64
+	Reason  string
+	Headers []Header
+	Body    []byte
+}
+
+// BuildRequest constructs the message AST of req on graph g.
+func BuildRequest(g *graph.Graph, r *rng.R, req Request) (*msgtree.Message, error) {
+	m := msgtree.New(g, r)
+	s := m.Scope()
+	if err := s.SetString("method", req.Method); err != nil {
+		return nil, err
+	}
+	if err := s.SetString("uri", req.URI); err != nil {
+		return nil, err
+	}
+	if err := s.SetString("version", req.Version); err != nil {
+		return nil, err
+	}
+	for _, h := range req.Headers {
+		hs, err := s.Add("headers")
+		if err != nil {
+			return nil, err
+		}
+		if err := hs.SetString("hname", h.Name); err != nil {
+			return nil, err
+		}
+		if err := hs.SetString("hvalue", h.Value); err != nil {
+			return nil, err
+		}
+	}
+	if req.Method == "POST" {
+		bs, err := s.Enable("body")
+		if err != nil {
+			return nil, err
+		}
+		if err := bs.SetBytes("payload", req.Body); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// ExtractRequest recovers the logical request from a parsed message.
+func ExtractRequest(m *msgtree.Message) (Request, error) {
+	s := m.Scope()
+	var req Request
+	get := func(name string) (string, error) {
+		b, err := s.GetBytes(name)
+		return string(b), err
+	}
+	var err error
+	if req.Method, err = get("method"); err != nil {
+		return req, err
+	}
+	if req.URI, err = get("uri"); err != nil {
+		return req, err
+	}
+	if req.Version, err = get("version"); err != nil {
+		return req, err
+	}
+	items, err := s.Items("headers")
+	if err != nil {
+		return req, err
+	}
+	for _, h := range items {
+		name, err := h.GetBytes("hname")
+		if err != nil {
+			return req, err
+		}
+		val, err := h.GetBytes("hvalue")
+		if err != nil {
+			return req, err
+		}
+		req.Headers = append(req.Headers, Header{Name: string(name), Value: string(val)})
+	}
+	present, err := s.Present("body")
+	if err != nil {
+		return req, err
+	}
+	if present {
+		bs, err := s.Enable("body")
+		if err != nil {
+			return req, err
+		}
+		if req.Body, err = bs.GetBytes("payload"); err != nil {
+			return req, err
+		}
+	}
+	return req, nil
+}
+
+// BuildResponse constructs the message AST of resp on graph g.
+func BuildResponse(g *graph.Graph, r *rng.R, resp Response) (*msgtree.Message, error) {
+	m := msgtree.New(g, r)
+	s := m.Scope()
+	if err := s.SetString("rversion", resp.Version); err != nil {
+		return nil, err
+	}
+	if err := s.SetUint("status", resp.Status); err != nil {
+		return nil, err
+	}
+	if err := s.SetString("reason", resp.Reason); err != nil {
+		return nil, err
+	}
+	for _, h := range resp.Headers {
+		hs, err := s.Add("rheaders")
+		if err != nil {
+			return nil, err
+		}
+		if err := hs.SetString("rhname", h.Name); err != nil {
+			return nil, err
+		}
+		if err := hs.SetString("rhvalue", h.Value); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.SetBytes("rbody", resp.Body); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ExtractResponse recovers the logical response from a parsed message.
+func ExtractResponse(m *msgtree.Message) (Response, error) {
+	s := m.Scope()
+	var resp Response
+	v, err := s.GetBytes("rversion")
+	if err != nil {
+		return resp, err
+	}
+	resp.Version = string(v)
+	if resp.Status, err = s.GetUint("status"); err != nil {
+		return resp, err
+	}
+	reason, err := s.GetBytes("reason")
+	if err != nil {
+		return resp, err
+	}
+	resp.Reason = string(reason)
+	items, err := s.Items("rheaders")
+	if err != nil {
+		return resp, err
+	}
+	for _, h := range items {
+		name, err := h.GetBytes("rhname")
+		if err != nil {
+			return resp, err
+		}
+		val, err := h.GetBytes("rhvalue")
+		if err != nil {
+			return resp, err
+		}
+		resp.Headers = append(resp.Headers, Header{Name: string(name), Value: string(val)})
+	}
+	if resp.Body, err = s.GetBytes("rbody"); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+// --- workload generation ----------------------------------------------------
+
+var (
+	methods = []string{"GET", "POST", "HEAD", "DELETE", "OPTIONS"}
+	paths   = []string{"/", "/index.html", "/api/v1/items", "/static/app.js", "/login", "/search"}
+	hdrPool = []Header{
+		{"Host", "example.com"},
+		{"User-Agent", "protoobf-client/1.0"},
+		{"Accept", "text/html"},
+		{"Accept-Language", "en-US"},
+		{"Cache-Control", "no-cache"},
+		{"Connection", "keep-alive"},
+		{"X-Request-Id", "0"},
+	}
+	reasons = map[uint64]string{200: "OK", 201: "Created", 204: "No Content", 301: "Moved", 404: "Not Found", 500: "Server Error"}
+)
+
+// RandomRequest draws a request with realistic values. Delimiter bytes
+// never appear inside field values, per the protocol contract.
+func RandomRequest(r *rng.R) Request {
+	method := methods[r.Intn(len(methods))]
+	req := Request{
+		Method:  method,
+		URI:     paths[r.Intn(len(paths))],
+		Version: "HTTP/1.1",
+	}
+	if r.Intn(3) == 0 {
+		req.URI += fmt.Sprintf("?q=%d", r.Intn(1000))
+	}
+	n := 1 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		h := hdrPool[r.Intn(len(hdrPool))]
+		if h.Name == "X-Request-Id" {
+			h.Value = fmt.Sprintf("%d", r.Intn(1<<30))
+		}
+		req.Headers = append(req.Headers, h)
+	}
+	if method == "POST" {
+		req.Body = []byte(fmt.Sprintf("field=%s&value=%d", strings.Repeat("x", 1+r.Intn(32)), r.Intn(1000)))
+	}
+	return req
+}
+
+// RandomResponse draws a response with realistic values.
+func RandomResponse(r *rng.R) Response {
+	statuses := []uint64{200, 201, 204, 301, 404, 500}
+	status := statuses[r.Intn(len(statuses))]
+	resp := Response{
+		Version: "HTTP/1.1",
+		Status:  status,
+		Reason:  reasons[status],
+	}
+	n := 1 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		resp.Headers = append(resp.Headers, hdrPool[r.Intn(len(hdrPool))])
+	}
+	if status == 200 {
+		resp.Body = []byte("<html><body>" + strings.Repeat("content ", 1+r.Intn(8)) + "</body></html>")
+	}
+	return resp
+}
+
+// RespondTo is the server logic of the core application: a canned
+// content map keyed by URI.
+func RespondTo(req Request) Response {
+	resp := Response{Version: "HTTP/1.1", Headers: []Header{{"Server", "protoobf/1.0"}}}
+	switch {
+	case req.Method == "POST":
+		resp.Status, resp.Reason = 201, "Created"
+		resp.Body = []byte("stored " + fmt.Sprint(len(req.Body)) + " bytes")
+	case req.URI == "/" || strings.HasPrefix(req.URI, "/index"):
+		resp.Status, resp.Reason = 200, "OK"
+		resp.Body = []byte("<html><body>welcome</body></html>")
+	case strings.HasPrefix(req.URI, "/api/"):
+		resp.Status, resp.Reason = 200, "OK"
+		resp.Body = []byte(`{"items":[1,2,3]}`)
+	default:
+		resp.Status, resp.Reason = 404, "Not Found"
+		resp.Body = []byte("nothing here")
+	}
+	return resp
+}

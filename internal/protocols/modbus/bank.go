@@ -1,0 +1,72 @@
+package modbus
+
+import "sync"
+
+// Bank is the register/coil store of the Modbus server core application.
+// It is safe for concurrent use.
+type Bank struct {
+	mu    sync.Mutex
+	coils [65536]bool
+	regs  [65536]uint16
+}
+
+// NewBank returns an empty bank.
+func NewBank() *Bank { return &Bank{} }
+
+// ReadBits packs qty coils starting at addr, LSB-first per byte, as the
+// Modbus wire format requires.
+func (b *Bank) ReadBits(addr, qty int) []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]byte, (qty+7)/8)
+	for i := 0; i < qty; i++ {
+		idx := (addr + i) % len(b.coils)
+		if b.coils[idx] {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// ReadRegs copies qty registers starting at addr.
+func (b *Bank) ReadRegs(addr, qty int) []uint16 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]uint16, qty)
+	for i := range out {
+		out[i] = b.regs[(addr+i)%len(b.regs)]
+	}
+	return out
+}
+
+// WriteBit sets one coil.
+func (b *Bank) WriteBit(addr int, on bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.coils[addr%len(b.coils)] = on
+}
+
+// WriteBits unpacks qty coils from packed (LSB-first) starting at addr.
+func (b *Bank) WriteBits(addr, qty int, packed []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := 0; i < qty && i/8 < len(packed); i++ {
+		b.coils[(addr+i)%len(b.coils)] = packed[i/8]&(1<<(i%8)) != 0
+	}
+}
+
+// WriteReg sets one holding register.
+func (b *Bank) WriteReg(addr int, val uint16) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.regs[addr%len(b.regs)] = val
+}
+
+// WriteRegs sets consecutive holding registers.
+func (b *Bank) WriteRegs(addr int, vals []uint16) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, v := range vals {
+		b.regs[(addr+i)%len(b.regs)] = v
+	}
+}

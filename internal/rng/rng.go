@@ -1,0 +1,60 @@
+// Package rng provides seeded, reproducible randomness for the
+// obfuscation framework. Every experiment derives per-run generators from
+// a root seed so that a (spec, seed) pair always yields the same
+// obfuscated protocol, which is what lets the framework re-generate
+// "new versions of the obfuscated core application at regular intervals"
+// deterministically (paper §I).
+package rng
+
+import (
+	"math/rand"
+)
+
+// R is a source of randomness. It wraps math/rand.Rand with the handful
+// of helpers the framework needs.
+type R struct {
+	*rand.Rand
+}
+
+// New returns a generator seeded with seed.
+func New(seed int64) *R {
+	return &R{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent generator; successive calls derive
+// different streams.
+func (r *R) Split() *R {
+	return New(r.Int63())
+}
+
+// Bytes returns n random bytes.
+func (r *R) Bytes(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Intn(256))
+	}
+	return b
+}
+
+// padAlphabet is the alphabet used for padding field values. It excludes
+// every byte that commonly starts a delimiter (CR, LF, SP, ':', ';', ',')
+// so that random padding can never be confused with a terminator scan.
+const padAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+// PadBytes returns n random bytes drawn from the delimiter-safe alphabet.
+func (r *R) PadBytes(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = padAlphabet[r.Intn(len(padAlphabet))]
+	}
+	return b
+}
+
+// Pick returns a uniformly random element index of a slice of length n,
+// or -1 when n == 0.
+func (r *R) Pick(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return r.Intn(n)
+}

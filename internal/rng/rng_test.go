@@ -1,0 +1,86 @@
+package rng
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(8)
+	same := true
+	a2 := New(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(1)
+	s1 := r.Split()
+	s2 := r.Split()
+	equal := true
+	for i := 0; i < 16; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			equal = false
+			break
+		}
+	}
+	if equal {
+		t.Error("successive splits produced identical streams")
+	}
+}
+
+func TestBytesLength(t *testing.T) {
+	r := New(2)
+	for _, n := range []int{0, 1, 17, 256} {
+		if got := r.Bytes(n); len(got) != n {
+			t.Errorf("Bytes(%d) = %d bytes", n, len(got))
+		}
+	}
+}
+
+func TestPadBytesAlphabet(t *testing.T) {
+	r := New(3)
+	b := r.PadBytes(4096)
+	for _, c := range b {
+		if !strings.ContainsRune(padAlphabet, rune(c)) {
+			t.Fatalf("pad byte %q outside the delimiter-safe alphabet", c)
+		}
+	}
+	// The alphabet must exclude the delimiter bytes used by the bundled
+	// protocols.
+	for _, forbidden := range []byte{'\r', '\n', ' ', ':', ';', '|', ','} {
+		if strings.IndexByte(padAlphabet, forbidden) >= 0 {
+			t.Errorf("pad alphabet contains delimiter byte %q", forbidden)
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := New(4)
+	if r.Pick(0) != -1 || r.Pick(-1) != -1 {
+		t.Error("Pick on empty should return -1")
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		v := r.Pick(3)
+		if v < 0 || v > 2 {
+			t.Fatalf("Pick(3) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("Pick(3) covered %d values", len(seen))
+	}
+}

@@ -1,0 +1,44 @@
+// Grammar reference for the specification language.
+//
+// A specification declares the protocol name and a single structured
+// root node:
+//
+//	spec      = "protocol" IDENT ";" "root" struct .
+//	node      = terminal | struct .
+//	struct    = seq | optional | repeat | tabular .
+//
+//	terminal  = "uint"  IDENT INT ";"                      (big-endian, width 1|2|4|8)
+//	          | "bytes" IDENT bound [ "min" INT ] ";"
+//	          | "ascii" IDENT bound [ "min" INT ] ";"      (decimal integer text)
+//
+//	bound     = "fixed" INT                                fixed byte size
+//	          | "delim" STRING                             terminated by the byte sequence
+//	          | "length" "(" IDENT ")"                     size held by the referenced field
+//	          | "end"                                      extends to the region end
+//
+//	seq       = "seq" IDENT [ bound ] "{" node+ "}"        default boundary: delegated
+//	optional  = "optional" IDENT "when" IDENT ("==" | "!=") (INT | STRING) "{" node "}"
+//	repeat    = "repeat" IDENT ("until" STRING | "end" | "length" "(" IDENT ")") "{" node "}"
+//	tabular   = "tabular" IDENT "count" "(" IDENT ")" "{" node "}"
+//
+// Comments run from '#' to end of line. Strings use double quotes with
+// \r \n \t \0 \\ \" and \xHH escapes.
+//
+// Semantics:
+//
+//   - Node names are unique per specification; they form the accessor
+//     interface (Scope.SetUint("name", ...)) and remain stable under
+//     obfuscation.
+//   - A uint field referenced by length(...) or count(...) is
+//     auto-filled by the serializer; the application must not set it.
+//     Length references must resolve to fixed-width uint fields that
+//     parse before every dependent node.
+//   - "min" declares the application's guaranteed minimum byte length
+//     for a variable-length field. It gates the SplitCat transformation
+//     and is required (min >= 1) for the first field of a
+//     delimiter-terminated repetition item, whose first bytes must never
+//     be confusable with the terminator.
+//   - The presence of an optional subtree is decided by the predicate
+//     over an earlier user-set field (uint or bytes equality), exactly
+//     the Optional semantics of the paper's §V-A.
+package spec

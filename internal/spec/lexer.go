@@ -1,0 +1,311 @@
+// Package spec implements the message-format specification language of
+// the framework: a small DSL whose semantics is exactly the message
+// format graph model of the paper (§V-A). The paper's prototype uses Lex
+// and Yacc; this package is the equivalent hand-written lexer and
+// recursive-descent parser producing a graph.Graph.
+//
+// Example specification:
+//
+//	protocol demo;
+//	root seq msg end {
+//	    bytes magic fixed 2;
+//	    uint  kind 1;
+//	    uint  plen 2;
+//	    seq payload length(plen) {
+//	        bytes name delim ";" min 1;
+//	        uint  cnt 1;
+//	        tabular items count(cnt) { uint item 2; }
+//	        optional maybe when kind == 7 { bytes extra delim "|"; }
+//	    }
+//	    repeat hdrs until "\r\n" {
+//	        seq hdr {
+//	            bytes hname delim ": " min 1;
+//	            bytes hval  delim "\r\n";
+//	        }
+//	    }
+//	    bytes body end;
+//	}
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokInt
+	tokString
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokSemi
+	tokEq // ==
+	tokNe // !=
+	tokEOF
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokString:
+		return "string"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokSemi:
+		return "';'"
+	case tokEq:
+		return "'=='"
+	case tokNe:
+		return "'!='"
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string // identifier text or decoded string content
+	num  uint64 // integer value
+	line int
+	col  int
+}
+
+// Error is a specification error with source position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("spec:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(format string, args ...any) *Error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	tok := token{line: l.line, col: l.col}
+	c, ok := l.peekByte()
+	if !ok {
+		tok.kind = tokEOF
+		return tok, nil
+	}
+	switch {
+	case c == '{':
+		l.advance()
+		tok.kind = tokLBrace
+	case c == '}':
+		l.advance()
+		tok.kind = tokRBrace
+	case c == '(':
+		l.advance()
+		tok.kind = tokLParen
+	case c == ')':
+		l.advance()
+		tok.kind = tokRParen
+	case c == ';':
+		l.advance()
+		tok.kind = tokSemi
+	case c == '=':
+		l.advance()
+		if c2, ok := l.peekByte(); !ok || c2 != '=' {
+			return tok, l.errf("expected '==' after '='")
+		}
+		l.advance()
+		tok.kind = tokEq
+	case c == '!':
+		l.advance()
+		if c2, ok := l.peekByte(); !ok || c2 != '=' {
+			return tok, l.errf("expected '!=' after '!'")
+		}
+		l.advance()
+		tok.kind = tokNe
+	case c == '"':
+		s, err := l.scanString()
+		if err != nil {
+			return tok, err
+		}
+		tok.kind = tokString
+		tok.text = s
+	case isDigit(c):
+		var n uint64
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isDigit(c) {
+				break
+			}
+			d := uint64(c - '0')
+			if n > (^uint64(0)-d)/10 {
+				return tok, l.errf("integer literal overflows uint64")
+			}
+			n = n*10 + d
+			l.advance()
+		}
+		tok.kind = tokInt
+		tok.num = n
+	case isIdentStart(c):
+		var b strings.Builder
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			b.WriteByte(l.advance())
+		}
+		tok.kind = tokIdent
+		tok.text = b.String()
+	default:
+		return tok, l.errf("unexpected character %q", string(c))
+	}
+	return tok, nil
+}
+
+// scanString scans a double-quoted string with \r \n \t \0 \\ \" and \xHH
+// escapes. The opening quote has not been consumed.
+func (l *lexer) scanString() (string, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return "", l.errf("unterminated string literal")
+		}
+		if c == '\n' {
+			return "", l.errf("newline in string literal")
+		}
+		l.advance()
+		if c == '"' {
+			return b.String(), nil
+		}
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		e, ok := l.peekByte()
+		if !ok {
+			return "", l.errf("unterminated escape sequence")
+		}
+		l.advance()
+		switch e {
+		case 'r':
+			b.WriteByte('\r')
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case '0':
+			b.WriteByte(0)
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'x':
+			var v byte
+			for i := 0; i < 2; i++ {
+				h, ok := l.peekByte()
+				if !ok {
+					return "", l.errf("unterminated \\x escape")
+				}
+				var d byte
+				switch {
+				case h >= '0' && h <= '9':
+					d = h - '0'
+				case h >= 'a' && h <= 'f':
+					d = h - 'a' + 10
+				case h >= 'A' && h <= 'F':
+					d = h - 'A' + 10
+				default:
+					return "", l.errf("invalid hex digit %q in \\x escape", string(h))
+				}
+				l.advance()
+				v = v<<4 | d
+			}
+			b.WriteByte(v)
+		default:
+			return "", l.errf("unknown escape sequence \\%s", string(e))
+		}
+	}
+}

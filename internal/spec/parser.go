@@ -1,0 +1,443 @@
+package spec
+
+import (
+	"fmt"
+
+	"protoobf/internal/graph"
+)
+
+// Parse compiles a specification source into a validated message format
+// graph. This is step S -> G1 of the framework architecture (paper §IV).
+func Parse(src string) (*graph.Graph, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	g, err := p.parseSpec()
+	if err != nil {
+		return nil, err
+	}
+	// Mark Length/Counter targets as auto-filled before validation.
+	markAutoFill(g)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return g, nil
+}
+
+// markAutoFill flags every node referenced by a Length or Counter
+// boundary: its value is computed by the serializer, never set by the
+// application.
+func markAutoFill(g *graph.Graph) {
+	refs := make(map[string]bool)
+	g.Walk(func(n *graph.Node) bool {
+		if n.Boundary.Kind == graph.Length || n.Boundary.Kind == graph.Counter {
+			refs[n.Boundary.Ref] = true
+		}
+		return true
+	})
+	g.Walk(func(n *graph.Node) bool {
+		if refs[n.Name] {
+			n.AutoFill = true
+		}
+		return true
+	})
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errf("expected %v, found %v", k, p.describe())
+	}
+	tok := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return tok, nil
+}
+
+func (p *parser) describe() string {
+	switch p.tok.kind {
+	case tokIdent:
+		return fmt.Sprintf("%q", p.tok.text)
+	case tokInt:
+		return fmt.Sprintf("integer %d", p.tok.num)
+	case tokString:
+		return fmt.Sprintf("string %q", p.tok.text)
+	default:
+		return p.tok.kind.String()
+	}
+}
+
+// keyword consumes the identifier kw or fails.
+func (p *parser) keyword(kw string) error {
+	if p.tok.kind != tokIdent || p.tok.text != kw {
+		return p.errf("expected %q, found %v", kw, p.describe())
+	}
+	return p.advance()
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == kw
+}
+
+// parseSpec ::= "protocol" IDENT ";" "root" structNode
+func (p *parser) parseSpec() (*graph.Graph, error) {
+	if err := p.keyword("protocol"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("root"); err != nil {
+		return nil, err
+	}
+	root, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if root.IsLeaf() {
+		return nil, p.errf("root node must be structured")
+	}
+	// The root region is the whole message.
+	if root.Boundary.Kind == graph.Delegated {
+		root.Boundary = graph.Boundary{Kind: graph.End}
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("trailing input after root node: %v", p.describe())
+	}
+	return graph.New(name.text, root), nil
+}
+
+// parseNode dispatches on the leading keyword.
+func (p *parser) parseNode() (*graph.Node, error) {
+	if p.tok.kind != tokIdent {
+		return nil, p.errf("expected a node declaration, found %v", p.describe())
+	}
+	switch p.tok.text {
+	case "uint":
+		return p.parseUint()
+	case "bytes":
+		return p.parseVarTerminal(graph.EncBytes)
+	case "ascii":
+		return p.parseVarTerminal(graph.EncASCII)
+	case "seq":
+		return p.parseSeq()
+	case "optional":
+		return p.parseOptional()
+	case "repeat":
+		return p.parseRepeat()
+	case "tabular":
+		return p.parseTabular()
+	default:
+		return nil, p.errf("unknown node keyword %q", p.tok.text)
+	}
+}
+
+// parseUint ::= "uint" IDENT INT ";"
+func (p *parser) parseUint() (*graph.Node, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	width, err := p.expect(tokInt)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return &graph.Node{
+		Name:     name.text,
+		Kind:     graph.Terminal,
+		Enc:      graph.EncUint,
+		Boundary: graph.Boundary{Kind: graph.Fixed, Size: int(width.num)},
+	}, nil
+}
+
+// parseVarTerminal ::= ("bytes"|"ascii") IDENT bound ["min" INT] ";"
+func (p *parser) parseVarTerminal(enc graph.Enc) (*graph.Node, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.parseBound(true)
+	if err != nil {
+		return nil, err
+	}
+	minLen := 0
+	if p.atKeyword("min") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		m, err := p.expect(tokInt)
+		if err != nil {
+			return nil, err
+		}
+		minLen = int(m.num)
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return &graph.Node{
+		Name:     name.text,
+		Kind:     graph.Terminal,
+		Enc:      enc,
+		Boundary: b,
+		MinLen:   minLen,
+	}, nil
+}
+
+// parseBound ::= "fixed" INT | "delim" STRING | "length" "(" IDENT ")" | "end"
+// When required is false and no boundary keyword is present, Delegated is
+// returned.
+func (p *parser) parseBound(required bool) (graph.Boundary, error) {
+	if p.tok.kind == tokIdent {
+		switch p.tok.text {
+		case "fixed":
+			if err := p.advance(); err != nil {
+				return graph.Boundary{}, err
+			}
+			n, err := p.expect(tokInt)
+			if err != nil {
+				return graph.Boundary{}, err
+			}
+			return graph.Boundary{Kind: graph.Fixed, Size: int(n.num)}, nil
+		case "delim":
+			if err := p.advance(); err != nil {
+				return graph.Boundary{}, err
+			}
+			s, err := p.expect(tokString)
+			if err != nil {
+				return graph.Boundary{}, err
+			}
+			return graph.Boundary{Kind: graph.Delimited, Delim: []byte(s.text)}, nil
+		case "length":
+			if err := p.advance(); err != nil {
+				return graph.Boundary{}, err
+			}
+			if _, err := p.expect(tokLParen); err != nil {
+				return graph.Boundary{}, err
+			}
+			ref, err := p.expect(tokIdent)
+			if err != nil {
+				return graph.Boundary{}, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return graph.Boundary{}, err
+			}
+			return graph.Boundary{Kind: graph.Length, Ref: ref.text}, nil
+		case "end":
+			if err := p.advance(); err != nil {
+				return graph.Boundary{}, err
+			}
+			return graph.Boundary{Kind: graph.End}, nil
+		}
+	}
+	if required {
+		return graph.Boundary{}, p.errf("expected a boundary (fixed/delim/length/end), found %v", p.describe())
+	}
+	return graph.Boundary{Kind: graph.Delegated}, nil
+}
+
+// parseSeq ::= "seq" IDENT [bound] "{" node+ "}"
+func (p *parser) parseSeq() (*graph.Node, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.parseBound(false)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var children []*graph.Node
+	for p.tok.kind != tokRBrace {
+		c, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, c)
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	if len(children) == 0 {
+		return nil, p.errf("sequence %q has no children", name.text)
+	}
+	return &graph.Node{Name: name.text, Kind: graph.Sequence, Boundary: b, Children: children}, nil
+}
+
+// parseOptional ::= "optional" IDENT "when" IDENT ("=="|"!=") (INT|STRING) "{" node "}"
+func (p *parser) parseOptional() (*graph.Node, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("when"); err != nil {
+		return nil, err
+	}
+	ref, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	cond := graph.Cond{Ref: ref.text}
+	switch p.tok.kind {
+	case tokEq:
+		cond.Op = graph.CondEq
+	case tokNe:
+		cond.Op = graph.CondNe
+	default:
+		return nil, p.errf("expected '==' or '!=', found %v", p.describe())
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	switch p.tok.kind {
+	case tokInt:
+		cond.UintVal = p.tok.num
+	case tokString:
+		cond.IsBytes = true
+		cond.BytesVal = []byte(p.tok.text)
+	default:
+		return nil, p.errf("expected an integer or string predicate value, found %v", p.describe())
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	child, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	return &graph.Node{
+		Name:     name.text,
+		Kind:     graph.Optional,
+		Boundary: graph.Boundary{Kind: graph.Delegated},
+		Cond:     cond,
+		Children: []*graph.Node{child},
+	}, nil
+}
+
+// parseRepeat ::= "repeat" IDENT ("until" STRING | "end" | "length" "(" IDENT ")") "{" node "}"
+func (p *parser) parseRepeat() (*graph.Node, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	var b graph.Boundary
+	switch {
+	case p.atKeyword("until"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		s, err := p.expect(tokString)
+		if err != nil {
+			return nil, err
+		}
+		b = graph.Boundary{Kind: graph.Delimited, Delim: []byte(s.text)}
+	case p.atKeyword("end"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		b = graph.Boundary{Kind: graph.End}
+	case p.atKeyword("length"):
+		var err error
+		if b, err = p.parseBound(true); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf("expected 'until', 'end' or 'length' after repetition name, found %v", p.describe())
+	}
+	child, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	return &graph.Node{Name: name.text, Kind: graph.Repetition, Boundary: b, Children: []*graph.Node{child}}, nil
+}
+
+// parseTabular ::= "tabular" IDENT "count" "(" IDENT ")" "{" node "}"
+func (p *parser) parseTabular() (*graph.Node, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("count"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	ref, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	child, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	return &graph.Node{
+		Name:     name.text,
+		Kind:     graph.Tabular,
+		Boundary: graph.Boundary{Kind: graph.Counter, Ref: ref.text},
+		Children: []*graph.Node{child},
+	}, nil
+}
+
+// parseBody ::= "{" node "}"  (single-child bodies)
+func (p *parser) parseBody() (*graph.Node, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	child, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	return child, nil
+}

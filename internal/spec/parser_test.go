@@ -1,0 +1,202 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"protoobf/internal/graph"
+)
+
+const demoSpec = `
+# A specification exercising every node kind and boundary.
+protocol demo;
+root seq msg end {
+    bytes magic fixed 2;
+    uint  kind 1;
+    uint  plen 2;
+    seq payload length(plen) {
+        bytes name delim ";" min 1;
+        uint  cnt 1;
+        tabular items count(cnt) { uint item 2; }
+        optional maybe when kind == 7 { bytes extra delim "|"; }
+    }
+    repeat hdrs until "\r\n" {
+        seq hdr {
+            bytes hname delim ": " min 1;
+            bytes hval  delim "\r\n";
+        }
+    }
+    bytes body end;
+}
+`
+
+func TestParseDemoSpec(t *testing.T) {
+	g, err := Parse(demoSpec)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if g.ProtocolName != "demo" {
+		t.Errorf("protocol name = %q", g.ProtocolName)
+	}
+	if got := g.NodeCount(); got != 16 {
+		t.Errorf("node count = %d, want 16", got)
+	}
+	if g.Root.Boundary.Kind != graph.End {
+		t.Errorf("root boundary = %v, want End", g.Root.Boundary)
+	}
+	plen := g.Find("plen")
+	if plen == nil || !plen.AutoFill {
+		t.Error("plen should be auto-filled (length target)")
+	}
+	cnt := g.Find("cnt")
+	if cnt == nil || !cnt.AutoFill {
+		t.Error("cnt should be auto-filled (counter target)")
+	}
+	if g.Find("kind").AutoFill {
+		t.Error("kind must not be auto-filled")
+	}
+	name := g.Find("name")
+	if name.MinLen != 1 || string(name.Boundary.Delim) != ";" {
+		t.Errorf("name terminal parsed wrong: %+v", name)
+	}
+	hdrs := g.Find("hdrs")
+	if hdrs.Kind != graph.Repetition || string(hdrs.Boundary.Delim) != "\r\n" {
+		t.Errorf("hdrs repetition parsed wrong: %+v", hdrs)
+	}
+	maybe := g.Find("maybe")
+	if maybe.Cond.Ref != "kind" || maybe.Cond.UintVal != 7 || maybe.Cond.Op != graph.CondEq {
+		t.Errorf("maybe predicate parsed wrong: %+v", maybe.Cond)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("parsed graph does not validate: %v", err)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	g, err := Parse(`
+protocol esc;
+root seq m end {
+    bytes a delim "\r\n";
+    bytes b delim "\t\\\"";
+    bytes c delim "\x00\xFF";
+    bytes d end;
+}`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := string(g.Find("a").Boundary.Delim); got != "\r\n" {
+		t.Errorf("a delim = %q", got)
+	}
+	if got := string(g.Find("b").Boundary.Delim); got != "\t\\\"" {
+		t.Errorf("b delim = %q", got)
+	}
+	if got := g.Find("c").Boundary.Delim; got[0] != 0 || got[1] != 0xFF {
+		t.Errorf("c delim = %x", got)
+	}
+}
+
+func TestParseRepeatVariants(t *testing.T) {
+	g, err := Parse(`
+protocol reps;
+root seq m end {
+    uint n 2;
+    seq blk length(n) {
+        repeat xs end { uint x 2; }
+    }
+    repeat ys until "$$" { bytes y delim ";" min 1; }
+    bytes tail end;
+}`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if g.Find("xs").Boundary.Kind != graph.End {
+		t.Error("xs should be End-bounded")
+	}
+	if g.Find("ys").Boundary.Kind != graph.Delimited {
+		t.Error("ys should be delimited")
+	}
+}
+
+func TestParseOptionalBytesPredicate(t *testing.T) {
+	g, err := Parse(`
+protocol opt;
+root seq m end {
+    bytes method delim " " min 1;
+    optional body when method == "POST" { bytes payload end; }
+}`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	c := g.Find("body").Cond
+	if !c.IsBytes || string(c.BytesVal) != "POST" {
+		t.Errorf("predicate = %+v", c)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"missing protocol", `root seq m end { uint a 1; }`, `expected "protocol"`},
+		{"missing semi", `protocol p root seq m end { uint a 1; }`, "expected ';'"},
+		{"root terminal", `protocol p; root uint a 1;`, "root node must be structured"},
+		{"bad keyword", `protocol p; root seq m end { float a 1; }`, "unknown node keyword"},
+		{"empty seq", `protocol p; root seq m end { seq s { } uint a 1; }`, "has no children"},
+		{"unterminated string", "protocol p; root seq m end { bytes a delim \"x; }", "unterminated string"},
+		{"bad escape", `protocol p; root seq m end { bytes a delim "\q"; }`, "unknown escape"},
+		{"bad hex", `protocol p; root seq m end { bytes a delim "\xZZ"; }`, "invalid hex digit"},
+		{"trailing input", `protocol p; root seq m end { uint a 1; } uint b 1;`, "trailing input"},
+		{"dup names", `protocol p; root seq m end { uint a 1; uint a 1; }`, "duplicate name"},
+		{"bad width", `protocol p; root seq m end { uint a 3; }`, "width 3"},
+		{"ghost ref", `protocol p; root seq m end { seq s length(ghost) { uint a 1; } }`, "does not resolve"},
+		{"ref after use", `protocol p; root seq m end { seq s length(n) { uint a 1; } uint n 2; }`, "parses at or after"},
+		{"bad predicate", `protocol p; root seq m end { uint k 1; optional o when k == "x" { uint a 1; } }`, "compares bytes"},
+		{"counter on bytes", `protocol p; root seq m end { bytes c fixed 2; tabular t count(c) { uint a 1; } }`, "not an integer"},
+		{"newline in string", "protocol p; root seq m end { bytes a delim \"x\ny\"; }", "newline in string"},
+		{"equals half", `protocol p; root seq m end { uint k 1; optional o when k = 1 { uint a 1; } }`, "expected '=='"},
+		{"end not last", `protocol p; root seq m end { bytes a end; uint b 1; }`, "not last in sequence"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("accepted, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestErrorPosition(t *testing.T) {
+	_, err := Parse("protocol p;\nroot seq m end {\n  uint a 1\n}")
+	if err == nil {
+		t.Fatal("missing semicolon accepted")
+	}
+	var se *Error
+	if !strings.HasPrefix(err.Error(), "spec:") {
+		t.Fatalf("error %q lacks position prefix", err)
+	}
+	_ = se
+	if !strings.Contains(err.Error(), "spec:4:") {
+		t.Errorf("error %q should point at line 4", err)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	g, err := Parse(`
+protocol c; # trailing comment
+# full line comment
+root seq m end {
+    uint a 1; # after decl
+}`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if g.Find("a") == nil {
+		t.Error("node a missing")
+	}
+}

@@ -1,0 +1,40 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTestdataSpecsParse keeps the sample specifications shipped in
+// testdata/ valid: they appear in the documentation and the protoobfc
+// usage examples.
+func TestTestdataSpecsParse(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".spec" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Parse(string(data))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+		parsed++
+	}
+	if parsed < 2 {
+		t.Errorf("only %d testdata specs found", parsed)
+	}
+}

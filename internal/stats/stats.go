@@ -1,0 +1,154 @@
+// Package stats provides the descriptive statistics used by the
+// experiment harness: avg[min,max] aggregates (the cell format of the
+// paper's tables III and IV) and least-squares linear regression with the
+// Pearson correlation coefficient (the fitted lines of figures 4 and 5).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Agg accumulates samples and reports average, minimum and maximum.
+type Agg struct {
+	n        int
+	sum      float64
+	min, max float64
+}
+
+// Add records one sample.
+func (a *Agg) Add(v float64) {
+	if a.n == 0 || v < a.min {
+		a.min = v
+	}
+	if a.n == 0 || v > a.max {
+		a.max = v
+	}
+	a.n++
+	a.sum += v
+}
+
+// N returns the sample count.
+func (a *Agg) N() int { return a.n }
+
+// Avg returns the mean (0 when empty).
+func (a *Agg) Avg() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Min returns the minimum (0 when empty).
+func (a *Agg) Min() float64 { return a.min }
+
+// Max returns the maximum (0 when empty).
+func (a *Agg) Max() float64 { return a.max }
+
+// Cell renders the paper's "avg[min; max]" cell with prec decimals.
+func (a *Agg) Cell(prec int) string {
+	return fmt.Sprintf("%.*f[%.*f; %.*f]", prec, a.Avg(), prec, a.min, prec, a.max)
+}
+
+// CellInt renders the cell with integer rounding.
+func (a *Agg) CellInt() string {
+	return fmt.Sprintf("%.0f[%.0f; %.0f]", a.Avg(), a.min, a.max)
+}
+
+// LinReg is a least-squares fit y = Slope*x + Intercept.
+type LinReg struct {
+	Slope     float64
+	Intercept float64
+	// R is the Pearson correlation coefficient.
+	R float64
+	N int
+}
+
+// Fit computes the least-squares regression of y on x.
+func Fit(x, y []float64) (LinReg, error) {
+	if len(x) != len(y) {
+		return LinReg{}, fmt.Errorf("stats: %d x-values vs %d y-values", len(x), len(y))
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return LinReg{}, fmt.Errorf("stats: need at least 2 points, have %d", len(x))
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+		sxy += x[i] * y[i]
+	}
+	dx := n*sxx - sx*sx
+	if dx == 0 {
+		return LinReg{}, fmt.Errorf("stats: degenerate x values")
+	}
+	slope := (n*sxy - sx*sy) / dx
+	intercept := (sy - slope*sx) / n
+	dy := n*syy - sy*sy
+	r := 0.0
+	if dy > 0 {
+		r = (n*sxy - sx*sy) / math.Sqrt(dx*dy)
+	}
+	return LinReg{Slope: slope, Intercept: intercept, R: r, N: len(x)}, nil
+}
+
+// At evaluates the fitted line.
+func (l LinReg) At(x float64) float64 { return l.Slope*x + l.Intercept }
+
+func (l LinReg) String() string {
+	return fmt.Sprintf("y = %.6g*x + %.6g (r = %.4f, n = %d)", l.Slope, l.Intercept, l.R, l.N)
+}
+
+// Percentile returns the p-th percentile (0..100) of values, by nearest
+// rank on a sorted copy.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	m := Mean(values)
+	s := 0.0
+	for _, v := range values {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(values)))
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAgg(t *testing.T) {
+	var a Agg
+	for _, v := range []float64{3, 1, 2} {
+		a.Add(v)
+	}
+	if a.N() != 3 || a.Avg() != 2 || a.Min() != 1 || a.Max() != 3 {
+		t.Errorf("agg = n%d avg%v min%v max%v", a.N(), a.Avg(), a.Min(), a.Max())
+	}
+	if got := a.Cell(1); got != "2.0[1.0; 3.0]" {
+		t.Errorf("Cell = %q", got)
+	}
+	if got := a.CellInt(); got != "2[1; 3]" {
+		t.Errorf("CellInt = %q", got)
+	}
+	var empty Agg
+	if empty.Avg() != 0 || empty.N() != 0 {
+		t.Error("empty agg misbehaves")
+	}
+}
+
+func TestFitPerfectLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 2x + 1
+	l, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Slope-2) > 1e-9 || math.Abs(l.Intercept-1) > 1e-9 {
+		t.Errorf("fit = %v", l)
+	}
+	if math.Abs(l.R-1) > 1e-9 {
+		t.Errorf("r = %v, want 1", l.R)
+	}
+	if math.Abs(l.At(10)-21) > 1e-9 {
+		t.Errorf("At(10) = %v", l.At(10))
+	}
+	if !strings.Contains(l.String(), "r = 1.0000") {
+		t.Errorf("String = %q", l.String())
+	}
+}
+
+func TestFitNegativeCorrelation(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{9, 6, 3, 0}
+	l, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Slope >= 0 || math.Abs(l.R+1) > 1e-9 {
+		t.Errorf("fit = %v", l)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Fit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+// TestFitRecoversLine is a property test: fitting y = a*x + b on noise-free
+// data recovers a and b for arbitrary parameters.
+func TestFitRecoversLine(t *testing.T) {
+	f := func(a8, b8 int8) bool {
+		a, b := float64(a8), float64(b8)
+		x := []float64{0, 1, 2, 3, 4, 7, 11}
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = a*x[i] + b
+		}
+		l, err := Fit(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(l.Slope-a) < 1e-6 && math.Abs(l.Intercept-b) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(vals, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(vals, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(vals, 50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	// Input must not be mutated.
+	if vals[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Error("mean wrong")
+	}
+	if got := StdDev([]float64{2, 4, 6}); math.Abs(got-math.Sqrt(8.0/3.0)) > 1e-9 {
+		t.Errorf("stddev = %v", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty inputs misbehave")
+	}
+}

@@ -1,0 +1,335 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"protoobf/internal/graph"
+	"protoobf/internal/msgtree"
+	"protoobf/internal/rng"
+	"protoobf/internal/spec"
+	"protoobf/internal/wire"
+)
+
+// applyOnce runs a single named transformation on the named node and
+// validates the result.
+func applyOnce(t *testing.T, g *graph.Graph, name, node string, seed int64) (*graph.Graph, string) {
+	t.Helper()
+	tr := ByName(name)
+	if tr == nil {
+		t.Fatalf("unknown transformation %q", name)
+	}
+	g = g.Clone()
+	n := g.Find(node)
+	if n == nil {
+		t.Fatalf("node %q missing", node)
+	}
+	if !tr.Applicable(g, n) {
+		t.Fatalf("%s not applicable to %q", name, node)
+	}
+	detail, err := tr.Apply(g, n, rng.New(seed))
+	if err != nil {
+		t.Fatalf("%s.Apply: %v", name, err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s left the graph invalid: %v", name, err)
+	}
+	return g, detail
+}
+
+// roundTrips builds a random message on g and checks serialize∘parse.
+func roundTrips(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	r := rng.New(5)
+	m := buildRandom(t, g, r)
+	data, err := wire.Serialize(m)
+	if err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	back, err := wire.Parse(g, data, r)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want, _ := m.Snapshot()
+	got, err := back.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := msgtree.SnapshotsEqual(want, got); diff != "" {
+		t.Fatalf("round trip: %s", diff)
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, tr := range Catalog() {
+		names[tr.Name()] = true
+	}
+	for _, want := range []string{
+		"SplitAdd", "SplitSub", "SplitXor", "SplitCat",
+		"ConstAdd", "ConstSub", "ConstXor",
+		"BoundaryChange", "PadInsert", "ReadFromEnd",
+		"TabSplit", "RepSplit", "ChildMove",
+	} {
+		if !names[want] {
+			t.Errorf("catalog missing %s (table I)", want)
+		}
+	}
+	if len(names) != 13 {
+		t.Errorf("catalog has %d transformations, want 13", len(names))
+	}
+	if ByName("Bogus") != nil {
+		t.Error("ByName invented a transformation")
+	}
+}
+
+func TestSplitAddStructure(t *testing.T) {
+	g := demoGraph(t)
+	g2, detail := applyOnce(t, g, "SplitAdd", "kind", 1)
+	if !strings.Contains(detail, "add") {
+		t.Errorf("detail = %q", detail)
+	}
+	comb := g2.FindOriginal("kind")
+	if comb == nil || comb.Comb == nil || comb.Comb.Kind != graph.CombAdd {
+		t.Fatalf("combine node wrong: %+v", comb)
+	}
+	if comb.Comb.Width != 1 {
+		t.Errorf("width = %d", comb.Comb.Width)
+	}
+	l := graph.FindRoleHolder(comb, graph.RoleSplitLeft)
+	r := graph.FindRoleHolder(comb, graph.RoleSplitRight)
+	if l == nil || r == nil || l.Boundary.Size != 1 || r.Boundary.Size != 1 {
+		t.Fatalf("halves wrong: %v %v", l, r)
+	}
+	roundTrips(t, g2)
+	// The whole-node is no longer a plain terminal; splitting again
+	// targets the halves, not the comb.
+	if ByName("SplitAdd").Applicable(g2, comb) {
+		t.Error("re-splitting a combine sequence should not be applicable")
+	}
+	if !ByName("SplitXor").Applicable(g2, l) {
+		t.Error("halves must be splittable (nesting)")
+	}
+}
+
+func TestSplitCatVariants(t *testing.T) {
+	g := demoGraph(t)
+	// Fixed bytes field.
+	g2, _ := applyOnce(t, g, "SplitCat", "magic", 2)
+	comb := g2.FindOriginal("magic")
+	if comb.Comb.Kind != graph.CombCat || comb.Comb.Width != 2 {
+		t.Fatalf("cat comb: %+v", comb.Comb)
+	}
+	roundTrips(t, g2)
+	// Delimited field with MinLen ≥ 2.
+	g3, _ := applyOnce(t, g, "SplitCat", "name", 3)
+	comb = g3.FindOriginal("name")
+	right := graph.FindRoleHolder(comb, graph.RoleSplitRight)
+	if right.Boundary.Kind != graph.Delimited {
+		t.Errorf("right half boundary = %v", right.Boundary)
+	}
+	roundTrips(t, g3)
+	// ASCII fields are not splittable by concatenation.
+	src := `
+protocol a;
+root seq m end { ascii num delim ";"; bytes tl end; }`
+	ga, err := spec.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ByName("SplitCat").Applicable(ga, ga.Find("num")) {
+		t.Error("SplitCat applicable to ascii field")
+	}
+}
+
+func TestConstOpsStructure(t *testing.T) {
+	g := demoGraph(t)
+	g2, _ := applyOnce(t, g, "ConstXor", "kind", 1)
+	n := g2.Find("kind")
+	if len(n.Ops) != 1 || n.Ops[0].Kind != graph.OpXor {
+		t.Fatalf("ops = %v", n.Ops)
+	}
+	roundTrips(t, g2)
+	// Stacking is allowed.
+	g3, _ := applyOnce(t, g2, "ConstAdd", "kind", 2)
+	if len(g3.Find("kind").Ops) != 2 {
+		t.Error("ops did not stack")
+	}
+	roundTrips(t, g3)
+	// Delimited bytes fields are not Const-able (delimiter collision).
+	if ByName("ConstXor").Applicable(g, g.Find("name")) {
+		t.Error("ConstXor applicable to delimited bytes field")
+	}
+}
+
+func TestBoundaryChangeStructure(t *testing.T) {
+	g := demoGraph(t)
+	g2, _ := applyOnce(t, g, "BoundaryChange", "name", 1)
+	name := g2.FindOriginal("name")
+	if name.Boundary.Kind != graph.Length {
+		t.Fatalf("boundary = %v", name.Boundary)
+	}
+	lenField := g2.FindOriginal(name.Boundary.Ref)
+	if lenField == nil || !lenField.AutoFill || lenField.Origin.Role != graph.RoleLengthOf {
+		t.Fatalf("length field wrong: %+v", lenField)
+	}
+	if name.Parent.Origin.Role != graph.RoleGroup {
+		t.Error("group wrapper missing")
+	}
+	roundTrips(t, g2)
+	// Also applicable to delimited repetitions.
+	g3, _ := applyOnce(t, g, "BoundaryChange", "hdrs", 2)
+	if g3.FindOriginal("hdrs").Boundary.Kind != graph.Length {
+		t.Error("repetition boundary not changed")
+	}
+	roundTrips(t, g3)
+}
+
+func TestPadInsertStructure(t *testing.T) {
+	g := demoGraph(t)
+	before := g.Find("payload")
+	nBefore := len(before.Children)
+	g2, _ := applyOnce(t, g, "PadInsert", "payload", 3)
+	after := g2.Find("payload")
+	if len(after.Children) != nBefore+1 {
+		t.Fatalf("children: %d -> %d", nBefore, len(after.Children))
+	}
+	found := false
+	for _, c := range after.Children {
+		if c.Origin.Role == graph.RolePad {
+			found = true
+			if c.Boundary.Kind != graph.Fixed || c.Boundary.Size < 1 || c.Boundary.Size > 8 {
+				t.Errorf("pad boundary = %v", c.Boundary)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no pad child")
+	}
+	roundTrips(t, g2)
+}
+
+func TestReadFromEndStructure(t *testing.T) {
+	g := demoGraph(t)
+	g2, _ := applyOnce(t, g, "ReadFromEnd", "payload", 1)
+	if !g2.Find("payload").Reversed {
+		t.Fatal("not reversed")
+	}
+	roundTrips(t, g2)
+	// Not applicable twice, to 1-byte statics, or to uncomputable extents.
+	if ByName("ReadFromEnd").Applicable(g2, g2.Find("payload")) {
+		t.Error("double reversal applicable")
+	}
+	if ByName("ReadFromEnd").Applicable(g, g.Find("kind")) {
+		t.Error("1-byte reversal applicable (identity)")
+	}
+	if ByName("ReadFromEnd").Applicable(g, g.Find("name")) {
+		t.Error("delimited terminal reversal applicable")
+	}
+}
+
+func TestTabSplitStructure(t *testing.T) {
+	g := demoGraph(t)
+	g2, detail := applyOnce(t, g, "TabSplit", "items", 1)
+	if !strings.Contains(detail, "A^n B^n") {
+		t.Errorf("detail = %q", detail)
+	}
+	pair := g2.FindOriginal("items")
+	if pair == nil || !pair.IsSplitPair() {
+		t.Fatalf("pair missing: %+v", pair)
+	}
+	l := graph.FindRoleHolder(pair, graph.RoleSplitLeft)
+	r := graph.FindRoleHolder(pair, graph.RoleSplitRight)
+	if l.Kind != graph.Tabular || r.Kind != graph.Tabular {
+		t.Fatalf("halves: %v %v", l.Kind, r.Kind)
+	}
+	if l.Boundary.Ref != "cnt" || r.Boundary.Ref != "cnt" {
+		t.Error("halves do not share the counter")
+	}
+	roundTrips(t, g2)
+	// Single-terminal tabulars cannot split.
+	src := `
+protocol s;
+root seq m end { uint n 1; tabular xs count(n) { uint x 2; } bytes tl end; }`
+	gs, err := spec.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ByName("TabSplit").Applicable(gs, gs.Find("xs")) {
+		t.Error("TabSplit applicable to single-terminal tabular")
+	}
+}
+
+func TestRepSplitStaticStructure(t *testing.T) {
+	g := demoGraph(t)
+	g2, detail := applyOnce(t, g, "RepSplit", "recs", 1)
+	if !strings.Contains(detail, "sizes 2+1") {
+		t.Errorf("detail = %q", detail)
+	}
+	pair := g2.FindOriginal("recs")
+	if pair.Pair == nil || pair.Pair.SizeA != 2 || pair.Pair.SizeB != 1 {
+		t.Fatalf("pair info: %+v", pair.Pair)
+	}
+	roundTrips(t, g2)
+}
+
+func TestRepSplitDelimitedStructure(t *testing.T) {
+	g := demoGraph(t)
+	g2, _ := applyOnce(t, g, "RepSplit", "hdrs", 1)
+	pair := g2.FindOriginal("hdrs")
+	if pair.Pair != nil {
+		t.Error("delimited variant should not carry static pair info")
+	}
+	l := graph.FindRoleHolder(pair, graph.RoleSplitLeft)
+	if l.Kind != graph.Repetition || l.Boundary.Kind != graph.Delimited {
+		t.Fatalf("left half: %v %v", l.Kind, l.Boundary)
+	}
+	roundTrips(t, g2)
+}
+
+func TestChildMoveStructure(t *testing.T) {
+	g := demoGraph(t)
+	before := make([]string, 0)
+	for _, c := range g.Find("hdr").Children {
+		before = append(before, c.Name)
+	}
+	g2, _ := applyOnce(t, g, "ChildMove", "hdr", 1)
+	after := make([]string, 0)
+	for _, c := range g2.Find("hdr").Children {
+		after = append(after, c.Name)
+	}
+	if strings.Join(before, ",") == strings.Join(after, ",") {
+		t.Error("children not permuted")
+	}
+	roundTrips(t, g2)
+}
+
+// TestEngineRejectsUnsound: a ChildMove that would place a length field
+// after its dependent region must be rolled back by the engine, never
+// committed.
+func TestEngineRejectsUnsound(t *testing.T) {
+	src := `
+protocol tight;
+root seq m end {
+    uint l 4;
+    seq region length(l) { bytes v end; }
+}`
+	g, err := spec.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Across many seeds, ChildMove on "m" can only swap l and region,
+	// which is always invalid; the engine must reject every attempt.
+	res, err := Obfuscate(g, Options{PerNode: 3, Only: []string{"ChildMove"}}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Applied {
+		if a.Target == "m" {
+			t.Fatalf("unsound ChildMove committed: %v", a)
+		}
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+package transform
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"protoobf/internal/graph"
+	"protoobf/internal/msgtree"
+	"protoobf/internal/rng"
+	"protoobf/internal/spec"
+	"protoobf/internal/wire"
+)
+
+const demoSpec = `
+protocol demo;
+root seq msg end {
+    bytes magic fixed 2;
+    uint  kind 1;
+    uint  plen 2;
+    seq payload length(plen) {
+        bytes name delim ";" min 3;
+        uint  cnt 1;
+        tabular items count(cnt) {
+            seq entry {
+                uint ekey 2;
+                uint eval 2;
+            }
+        }
+        optional maybe when kind == 7 { bytes extra delim "|" min 2; }
+    }
+    repeat hdrs until "\r\n" {
+        seq hdr {
+            bytes hname delim ": " min 3;
+            bytes hval  delim "\r\n" min 2;
+        }
+    }
+    uint blen 2;
+    seq blk length(blen) {
+        repeat recs end {
+            seq rec {
+                uint ra 2;
+                uint rb 1;
+            }
+        }
+    }
+    bytes body end;
+}
+`
+
+func demoGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := spec.Parse(demoSpec)
+	if err != nil {
+		t.Fatalf("spec.Parse: %v", err)
+	}
+	return g
+}
+
+// buildRandom fills a demo message with generator-driven values.
+func buildRandom(t testing.TB, g *graph.Graph, r *rng.R) *msgtree.Message {
+	t.Helper()
+	m := msgtree.New(g, r.Split())
+	s := m.Scope()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	kind := uint64(r.Intn(3))
+	if r.Intn(2) == 0 {
+		kind = 7
+	}
+	must(s.SetBytes("magic", r.Bytes(2)))
+	must(s.SetUint("kind", kind))
+	must(s.SetBytes("name", r.PadBytes(3+r.Intn(8))))
+	for i, n := 0, r.Intn(4); i < n; i++ {
+		item, err := s.Add("items")
+		must(err)
+		must(item.SetUint("ekey", uint64(r.Intn(1<<16))))
+		must(item.SetUint("eval", uint64(r.Intn(1<<16))))
+	}
+	if kind == 7 {
+		opt, err := s.Enable("maybe")
+		must(err)
+		must(opt.SetBytes("extra", r.PadBytes(2+r.Intn(6))))
+	}
+	for i, n := 0, r.Intn(3); i < n; i++ {
+		h, err := s.Add("hdrs")
+		must(err)
+		must(h.SetBytes("hname", r.PadBytes(3+r.Intn(6))))
+		must(h.SetBytes("hval", r.PadBytes(2+r.Intn(10))))
+	}
+	for i, n := 0, r.Intn(5); i < n; i++ {
+		rec, err := s.Add("recs")
+		must(err)
+		must(rec.SetUint("ra", uint64(r.Intn(1<<16))))
+		must(rec.SetUint("rb", uint64(r.Intn(1<<8))))
+	}
+	must(s.SetBytes("body", r.PadBytes(r.Intn(16))))
+	return m
+}
+
+func TestObfuscateAppliesTransformations(t *testing.T) {
+	g := demoGraph(t)
+	res, err := Obfuscate(g, Options{PerNode: 1}, rng.New(1))
+	if err != nil {
+		t.Fatalf("Obfuscate: %v", err)
+	}
+	if len(res.Applied) == 0 {
+		t.Fatal("no transformations applied")
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatalf("obfuscated graph invalid: %v", err)
+	}
+	if res.Graph.NodeCount() <= g.NodeCount() {
+		t.Errorf("node count did not grow: %d -> %d", g.NodeCount(), res.Graph.NodeCount())
+	}
+	// The input graph is untouched.
+	if err := g.Validate(); err != nil {
+		t.Errorf("input graph mutated: %v", err)
+	}
+	if g.Find("pad$1") != nil || strings.Contains(g.Dot(), "comb") {
+		t.Error("input graph contains obfuscation artifacts")
+	}
+}
+
+func TestObfuscateDeterministicPerSeed(t *testing.T) {
+	g := demoGraph(t)
+	r1, err := Obfuscate(g, Options{PerNode: 2}, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Obfuscate(g, Options{PerNode: 2}, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Trace() != r2.Trace() {
+		t.Error("same seed produced different transformation traces")
+	}
+	r3, err := Obfuscate(g, Options{PerNode: 2}, rng.New(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Trace() == r3.Trace() {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestRoundTripUnderObfuscation is the paper's invertibility property
+// (τ⁻¹∘τ = id): for many random obfuscation chains and random messages,
+// parse(serialize(m)) carries exactly the same logical content as m.
+func TestRoundTripUnderObfuscation(t *testing.T) {
+	g := demoGraph(t)
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rng.New(seed)
+			perNode := 1 + int(seed)%4
+			res, err := Obfuscate(g, Options{PerNode: perNode}, r)
+			if err != nil {
+				t.Fatalf("Obfuscate: %v", err)
+			}
+			for trial := 0; trial < 5; trial++ {
+				m := buildRandom(t, res.Graph, r)
+				data, err := wire.Serialize(m)
+				if err != nil {
+					t.Fatalf("Serialize (perNode=%d):\n%s\nerror: %v", perNode, res.Trace(), err)
+				}
+				back, err := wire.Parse(res.Graph, data, r.Split())
+				if err != nil {
+					t.Fatalf("Parse:\n%s\nerror: %v", res.Trace(), err)
+				}
+				want, err := m.Snapshot()
+				if err != nil {
+					t.Fatalf("Snapshot in: %v", err)
+				}
+				got, err := back.Snapshot()
+				if err != nil {
+					t.Fatalf("Snapshot out: %v", err)
+				}
+				if diff := msgtree.SnapshotsEqual(want, got); diff != "" {
+					t.Fatalf("round trip mismatch: %s\ntrace:\n%s\nin:\n%s\nout:\n%s",
+						diff, res.Trace(), msgtree.FormatSnapshot(want), msgtree.FormatSnapshot(got))
+				}
+			}
+		})
+	}
+}
+
+func TestObfuscateZeroRounds(t *testing.T) {
+	g := demoGraph(t)
+	res, err := Obfuscate(g, Options{PerNode: 0}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Applied) != 0 {
+		t.Error("zero rounds applied transformations")
+	}
+	if res.Graph.NodeCount() != g.NodeCount() {
+		t.Error("zero rounds changed the graph")
+	}
+}
+
+func TestObfuscateOnlyAndExclude(t *testing.T) {
+	g := demoGraph(t)
+	res, err := Obfuscate(g, Options{PerNode: 2, Only: []string{"ConstXor"}}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Applied {
+		if a.Transform != "ConstXor" {
+			t.Errorf("Only filter violated: %v", a)
+		}
+	}
+	res, err = Obfuscate(g, Options{PerNode: 2, Exclude: []string{"PadInsert", "ChildMove"}}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Applied {
+		if a.Transform == "PadInsert" || a.Transform == "ChildMove" {
+			t.Errorf("Exclude filter violated: %v", a)
+		}
+	}
+	if _, err := Obfuscate(g, Options{PerNode: 1, Only: []string{"Nope"}}, rng.New(1)); err == nil {
+		t.Error("unknown Only name accepted")
+	}
+	if _, err := Obfuscate(g, Options{PerNode: 1, Exclude: []string{"Nope"}}, rng.New(1)); err == nil {
+		t.Error("unknown Exclude name accepted")
+	}
+}
+
+func TestGrowthAcrossRounds(t *testing.T) {
+	g := demoGraph(t)
+	prev := 0
+	for perNode := 1; perNode <= 4; perNode++ {
+		res, err := Obfuscate(g, Options{PerNode: perNode}, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Applied) <= prev {
+			t.Errorf("perNode=%d applied %d transformations, not more than %d", perNode, len(res.Applied), prev)
+		}
+		prev = len(res.Applied)
+	}
+}
+
+func TestCountByTransform(t *testing.T) {
+	g := demoGraph(t)
+	res, err := Obfuscate(g, Options{PerNode: 3}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.CountByTransform()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(res.Applied) {
+		t.Errorf("counts sum %d != applied %d", total, len(res.Applied))
+	}
+	if len(counts) < 4 {
+		t.Errorf("only %d distinct transformations applied over 3 rounds: %v", len(counts), counts)
+	}
+}

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"testing"
+
+	"protoobf/internal/graph"
+	"protoobf/internal/msgtree"
+	"protoobf/internal/rng"
+	"protoobf/internal/spec"
+	"protoobf/internal/transform"
+)
+
+// TestParseNeverPanics is a seeded fuzz harness: valid obfuscated
+// messages are mutated (bit flips, truncations, extensions, byte
+// swaps) and fed to the parser, which must either produce a message or
+// return an error — never panic, never loop, never over-read.
+func TestParseNeverPanics(t *testing.T) {
+	g0, err := newTestGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(99)
+	for _, perNode := range []int{0, 1, 2} {
+		g := g0
+		if perNode > 0 {
+			res, err := transform.Obfuscate(g0, transform.Options{PerNode: perNode}, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g = res.Graph
+		}
+		for trial := 0; trial < 20; trial++ {
+			m := buildTestMessage(t, g, r)
+			data, err := Serialize(m)
+			if err != nil {
+				t.Fatalf("serialize: %v", err)
+			}
+			for mut := 0; mut < 50; mut++ {
+				corrupted := mutate(data, r)
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							t.Fatalf("parser panicked on %x: %v", corrupted, rec)
+						}
+					}()
+					msg, err := Parse(g, corrupted, r)
+					if err == nil && msg != nil {
+						// A mutated message may still parse (e.g. a pad
+						// byte changed); reading it back must not panic
+						// either.
+						_, _ = msg.Snapshot()
+					}
+				}()
+			}
+		}
+	}
+}
+
+// mutate applies one random corruption to a copy of data.
+func mutate(data []byte, r *rng.R) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 {
+		return []byte{0xFF}
+	}
+	switch r.Intn(5) {
+	case 0: // bit flip
+		i := r.Intn(len(out))
+		out[i] ^= byte(1 << r.Intn(8))
+	case 1: // truncate
+		out = out[:r.Intn(len(out))]
+	case 2: // extend with random bytes
+		out = append(out, r.Bytes(1+r.Intn(8))...)
+	case 3: // swap two bytes
+		i, j := r.Intn(len(out)), r.Intn(len(out))
+		out[i], out[j] = out[j], out[i]
+	case 4: // zero a run
+		i := r.Intn(len(out))
+		n := 1 + r.Intn(4)
+		for k := i; k < len(out) && k < i+n; k++ {
+			out[k] = 0
+		}
+	}
+	return out
+}
+
+func newTestGraph() (*graph.Graph, error) {
+	return spec.Parse(demoSpec)
+}
+
+func buildTestMessage(t *testing.T, g *graph.Graph, r *rng.R) *msgtree.Message {
+	t.Helper()
+	m := msgtree.New(g, r.Split())
+	s := m.Scope()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.SetBytes("magic", r.Bytes(2)))
+	must(s.SetUint("kind", uint64(r.Intn(8))))
+	must(s.SetBytes("name", r.PadBytes(1+r.Intn(6))))
+	for i, n := 0, r.Intn(3); i < n; i++ {
+		it, err := s.Add("items")
+		must(err)
+		must(it.SetUint("item", uint64(r.Intn(1<<16))))
+	}
+	if v, _ := s.GetUint("kind"); v == 7 {
+		sc, err := s.Enable("maybe")
+		must(err)
+		must(sc.SetBytes("extra", r.PadBytes(1+r.Intn(4))))
+	}
+	for i, n := 0, r.Intn(2); i < n; i++ {
+		h, err := s.Add("hdrs")
+		must(err)
+		must(h.SetBytes("hname", r.PadBytes(1+r.Intn(4))))
+		must(h.SetBytes("hval", r.PadBytes(1+r.Intn(6))))
+	}
+	must(s.SetBytes("body", r.PadBytes(r.Intn(8))))
+	return m
+}

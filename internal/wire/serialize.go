@@ -1,0 +1,184 @@
+// Package wire implements the message serializer and parser of the
+// framework (paper §V-C): a depth-first traversal of the message AST that
+// executes the ordering transformations on the fly while constructing the
+// obfuscated byte stream, and the inverse traversal that rebuilds the AST
+// from obfuscated bytes.
+//
+// Serialization is two-phase: a layout pass computes the sizes and counts
+// feeding every auto-filled field (Length/Counter targets, synthetic
+// BoundaryChange length fields), then an emit pass writes bytes,
+// reversing ReadFromEnd regions and inserting delimiters and terminators.
+package wire
+
+import (
+	"bytes"
+	"fmt"
+
+	"protoobf/internal/graph"
+	"protoobf/internal/msgtree"
+)
+
+// Serialize renders the message to obfuscated wire bytes.
+func Serialize(m *msgtree.Message) ([]byte, error) {
+	if err := fill(m, m.Root); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := emit(m.Root, &buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// fill walks the instance tree and assigns every auto-filled reference
+// target: for a Length-bounded node D referencing R, R's value is the
+// content size of D; for a Tabular D, R is the item count. The pass also
+// checks RepSplit pair halves have matching item counts.
+func fill(m *msgtree.Message, root *msgtree.Value) error {
+	filled := make(map[*msgtree.Value]uint64)
+	var walk func(v *msgtree.Value) error
+	walk = func(v *msgtree.Value) error {
+		n := v.Node
+		if n.Kind == graph.Optional && !v.Present {
+			return nil
+		}
+		if ref := n.Boundary.Ref; ref != "" {
+			target := msgtree.FindRef(v, ref)
+			if target == nil {
+				return fmt.Errorf("serialize: reference %q of node %q not found in scope", ref, n.Name)
+			}
+			var val uint64
+			switch n.Boundary.Kind {
+			case graph.Length:
+				sz, err := sizeOf(v)
+				if err != nil {
+					return err
+				}
+				val = uint64(sz)
+			case graph.Counter:
+				val = uint64(len(v.Kids))
+			default:
+				return fmt.Errorf("serialize: node %q has a reference with boundary %v", n.Name, n.Boundary.Kind)
+			}
+			if prev, dup := filled[target]; dup {
+				if prev != val {
+					return fmt.Errorf("serialize: reference %q filled with both %d and %d", ref, prev, val)
+				}
+			} else {
+				filled[target] = val
+				if err := m.SetNodeValue(target, graph.UintVal(val)); err != nil {
+					return fmt.Errorf("serialize: fill %q: %w", ref, err)
+				}
+			}
+		}
+		if n.Pair != nil {
+			if len(v.Kids) != 2 {
+				return fmt.Errorf("serialize: rep-split pair %q has %d halves", n.Name, len(v.Kids))
+			}
+			if a, b := len(v.Kids[0].Kids), len(v.Kids[1].Kids); a != b {
+				return fmt.Errorf("serialize: rep-split pair %q has %d vs %d items", n.Name, a, b)
+			}
+		}
+		for _, k := range v.Kids {
+			if err := walk(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(root)
+}
+
+// sizeOf computes the serialized content size of an instance subtree.
+// Auto-filled terminals have fixed widths, so sizes never depend on the
+// values fill assigns, making a single pass sufficient.
+func sizeOf(v *msgtree.Value) (int, error) {
+	n := v.Node
+	switch n.Kind {
+	case graph.Terminal:
+		sz := 0
+		if n.Boundary.Kind == graph.Fixed {
+			sz = n.Boundary.Size
+		} else {
+			if !v.IsSet() {
+				return 0, fmt.Errorf("serialize: field %q not set", n.Name)
+			}
+			sz = len(v.Bytes)
+		}
+		if n.Boundary.Kind == graph.Delimited {
+			sz += len(n.Boundary.Delim)
+		}
+		return sz, nil
+	case graph.Optional:
+		if !v.Present {
+			return 0, nil
+		}
+		if len(v.Kids) != 1 {
+			return 0, fmt.Errorf("serialize: present optional %q without child", n.Name)
+		}
+		return sizeOf(v.Kids[0])
+	case graph.Sequence, graph.Repetition, graph.Tabular:
+		total := 0
+		for _, k := range v.Kids {
+			s, err := sizeOf(k)
+			if err != nil {
+				return 0, err
+			}
+			total += s
+		}
+		if n.Boundary.Kind == graph.Delimited {
+			total += len(n.Boundary.Delim)
+		}
+		return total, nil
+	default:
+		return 0, fmt.Errorf("serialize: unknown node kind %v", n.Kind)
+	}
+}
+
+// emit writes the subtree, applying ReadFromEnd byte reversal.
+func emit(v *msgtree.Value, out *bytes.Buffer) error {
+	if v.Node.Reversed {
+		var sub bytes.Buffer
+		if err := emitInner(v, &sub); err != nil {
+			return err
+		}
+		b := sub.Bytes()
+		for i := len(b) - 1; i >= 0; i-- {
+			out.WriteByte(b[i])
+		}
+		return nil
+	}
+	return emitInner(v, out)
+}
+
+func emitInner(v *msgtree.Value, out *bytes.Buffer) error {
+	n := v.Node
+	switch n.Kind {
+	case graph.Terminal:
+		if !v.IsSet() {
+			return fmt.Errorf("serialize: field %q not set", n.Name)
+		}
+		out.Write(v.Bytes)
+		if n.Boundary.Kind == graph.Delimited {
+			out.Write(n.Boundary.Delim)
+		}
+		return nil
+	case graph.Optional:
+		if !v.Present {
+			return nil
+		}
+		return emit(v.Kids[0], out)
+	case graph.Sequence, graph.Repetition, graph.Tabular:
+		for _, k := range v.Kids {
+			if err := emit(k, out); err != nil {
+				return err
+			}
+		}
+		if n.Boundary.Kind == graph.Delimited {
+			out.Write(n.Boundary.Delim)
+		}
+		return nil
+	default:
+		return fmt.Errorf("serialize: unknown node kind %v", n.Kind)
+	}
+}

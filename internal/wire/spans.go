@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+
+	"protoobf/internal/graph"
+	"protoobf/internal/msgtree"
+)
+
+// Span locates one field in the serialized byte stream. It is the ground
+// truth the protocol-reverse-engineering baseline (internal/pre) is
+// scored against.
+type Span struct {
+	// Name is the node name (original field name for plain graphs).
+	Name string
+	// Start and End delimit the field content, End exclusive. Delimiters
+	// are not part of the span.
+	Start, End int
+}
+
+func (s Span) String() string { return fmt.Sprintf("%s[%d:%d]", s.Name, s.Start, s.End) }
+
+// SerializeWithSpans serializes the message and records the byte span of
+// every terminal field. Subtrees serialized in reverse order
+// (ReadFromEnd) have their field offsets mapped through the reversal, so
+// the spans are exact even under nested ReadFromEnd transformations.
+func SerializeWithSpans(m *msgtree.Message) ([]byte, []Span, error) {
+	if err := fill(m, m.Root); err != nil {
+		return nil, nil, err
+	}
+	var buf bytes.Buffer
+	var spans []Span
+	if err := emitSpans(m.Root, &buf, &spans); err != nil {
+		return nil, nil, err
+	}
+	return buf.Bytes(), spans, nil
+}
+
+func emitSpans(v *msgtree.Value, out *bytes.Buffer, spans *[]Span) error {
+	if v.Node.Reversed {
+		var sub bytes.Buffer
+		var subSpans []Span
+		if err := emitSpansInner(v, &sub, &subSpans); err != nil {
+			return err
+		}
+		base := out.Len()
+		b := sub.Bytes()
+		for i := len(b) - 1; i >= 0; i-- {
+			out.WriteByte(b[i])
+		}
+		// A field at [s,e) within the region lands at mirrored offsets.
+		for _, sp := range subSpans {
+			*spans = append(*spans, Span{
+				Name:  sp.Name,
+				Start: base + len(b) - sp.End,
+				End:   base + len(b) - sp.Start,
+			})
+		}
+		return nil
+	}
+	return emitSpansInner(v, out, spans)
+}
+
+func emitSpansInner(v *msgtree.Value, out *bytes.Buffer, spans *[]Span) error {
+	n := v.Node
+	switch n.Kind {
+	case graph.Terminal:
+		start := out.Len()
+		if !v.IsSet() {
+			return fmt.Errorf("serialize: field %q not set", n.Name)
+		}
+		out.Write(v.Bytes)
+		if n.Boundary.Kind == graph.Delimited {
+			out.Write(n.Boundary.Delim)
+		}
+		end := out.Len()
+		if n.Boundary.Kind == graph.Delimited {
+			end -= len(n.Boundary.Delim)
+		}
+		*spans = append(*spans, Span{Name: n.Name, Start: start, End: end})
+		return nil
+	case graph.Optional:
+		if !v.Present {
+			return nil
+		}
+		return emitSpans(v.Kids[0], out, spans)
+	case graph.Sequence, graph.Repetition, graph.Tabular:
+		for _, k := range v.Kids {
+			if err := emitSpans(k, out, spans); err != nil {
+				return err
+			}
+		}
+		if n.Boundary.Kind == graph.Delimited {
+			out.Write(n.Boundary.Delim)
+		}
+		return nil
+	default:
+		return fmt.Errorf("serialize: unknown node kind %v", n.Kind)
+	}
+}

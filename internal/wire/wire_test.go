@@ -1,0 +1,519 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"protoobf/internal/graph"
+	"protoobf/internal/msgtree"
+	"protoobf/internal/rng"
+	"protoobf/internal/spec"
+)
+
+const demoSpec = `
+protocol demo;
+root seq msg end {
+    bytes magic fixed 2;
+    uint  kind 1;
+    uint  plen 2;
+    seq payload length(plen) {
+        bytes name delim ";" min 1;
+        uint  cnt 1;
+        tabular items count(cnt) { uint item 2; }
+        optional maybe when kind == 7 { bytes extra delim "|"; }
+    }
+    repeat hdrs until "\r\n" {
+        seq hdr {
+            bytes hname delim ": " min 1;
+            bytes hval  delim "\r\n";
+        }
+    }
+    bytes body end;
+}
+`
+
+func mustGraph(t testing.TB, src string) *graph.Graph {
+	t.Helper()
+	g, err := spec.Parse(src)
+	if err != nil {
+		t.Fatalf("spec.Parse: %v", err)
+	}
+	return g
+}
+
+// buildDemo fills a demo message with known values.
+func buildDemo(t testing.TB, g *graph.Graph, kind uint64) *msgtree.Message {
+	t.Helper()
+	m := msgtree.New(g, rng.New(42))
+	s := m.Scope()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.SetBytes("magic", []byte{0xCA, 0xFE}))
+	must(s.SetUint("kind", kind))
+	must(s.SetString("name", "alpha"))
+	for i := 0; i < 3; i++ {
+		item, err := s.Add("items")
+		must(err)
+		must(item.SetUint("item", uint64(0x100+i)))
+	}
+	if kind == 7 {
+		opt, err := s.Enable("maybe")
+		must(err)
+		must(opt.SetString("extra", "bonus"))
+	}
+	for _, h := range [][2]string{{"Host", "example.com"}, {"Accept", "*"}} {
+		hs, err := s.Add("hdrs")
+		must(err)
+		must(hs.SetString("hname", h[0]))
+		must(hs.SetString("hval", h[1]))
+	}
+	must(s.SetString("body", "the-body"))
+	return m
+}
+
+func TestSerializePlainLayout(t *testing.T) {
+	g := mustGraph(t, demoSpec)
+	m := buildDemo(t, g, 3) // optional absent
+	data, err := Serialize(m)
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	want := []byte{0xCA, 0xFE, 3, 0, 13}
+	want = append(want, []byte("alpha;")...)
+	want = append(want, 3, 1, 0, 1, 1, 1, 2)
+	want = append(want, []byte("Host: example.com\r\nAccept: *\r\n\r\nthe-body")...)
+	if !bytes.Equal(data, want) {
+		t.Fatalf("wire = %x\nwant  %x", data, want)
+	}
+}
+
+func TestRoundTripPlain(t *testing.T) {
+	g := mustGraph(t, demoSpec)
+	for _, kind := range []uint64{3, 7} {
+		m := buildDemo(t, g, kind)
+		data, err := Serialize(m)
+		if err != nil {
+			t.Fatalf("Serialize: %v", err)
+		}
+		got, err := Parse(g, data, rng.New(1))
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		s1, err := m.Snapshot()
+		if err != nil {
+			t.Fatalf("Snapshot in: %v", err)
+		}
+		s2, err := got.Snapshot()
+		if err != nil {
+			t.Fatalf("Snapshot out: %v", err)
+		}
+		if diff := msgtree.SnapshotsEqual(s1, s2); diff != "" {
+			t.Fatalf("kind=%d round trip mismatch: %s", kind, diff)
+		}
+		// Accessors on the parsed message recover original values.
+		sc := got.Scope()
+		if v, err := sc.GetUint("kind"); err != nil || v != kind {
+			t.Errorf("GetUint(kind) = %d, %v", v, err)
+		}
+		if b, err := sc.GetBytes("name"); err != nil || string(b) != "alpha" {
+			t.Errorf("GetBytes(name) = %q, %v", b, err)
+		}
+		items, err := sc.Items("items")
+		if err != nil || len(items) != 3 {
+			t.Fatalf("Items = %d, %v", len(items), err)
+		}
+		if v, _ := items[2].GetUint("item"); v != 0x102 {
+			t.Errorf("items[2] = %#x", v)
+		}
+	}
+}
+
+// transformed builds the demo graph with hand-applied transformations of
+// every family, bypassing the transform engine (tested separately):
+// ConstXor on kind, SplitAdd on plen, SplitCat on magic, ReadFromEnd on
+// payload, a pad inside payload, BoundaryChange on name, ChildMove in hdr
+// (swap is invalid: hval depends... swap magic/kind order instead).
+func transformed(t *testing.T) *graph.Graph {
+	g := mustGraph(t, demoSpec)
+
+	// ConstXor on kind.
+	g.Find("kind").Ops = []graph.ValueOp{{Kind: graph.OpXor, K: 0xA5}}
+
+	// SplitAdd on plen (auto-filled length field).
+	plen := g.Find("plen")
+	comb := &graph.Node{
+		Name: "plen$c", Kind: graph.Sequence, Boundary: graph.Boundary{Kind: graph.Delegated},
+		Origin: graph.Origin{Name: "plen", Role: graph.RoleWhole},
+		Enc:    graph.EncUint, AutoFill: true,
+		Comb: &graph.Combine{Kind: graph.CombAdd, Width: 2},
+		Children: []*graph.Node{
+			{Name: "plen$l", Kind: graph.Terminal, Enc: graph.EncUint, Boundary: graph.Boundary{Kind: graph.Fixed, Size: 2}, Origin: graph.Origin{Name: "plen", Role: graph.RoleSplitLeft}},
+			{Name: "plen$r", Kind: graph.Terminal, Enc: graph.EncUint, Boundary: graph.Boundary{Kind: graph.Fixed, Size: 2}, Origin: graph.Origin{Name: "plen", Role: graph.RoleSplitRight}},
+		},
+	}
+	if err := g.Replace(plen, comb); err != nil {
+		t.Fatal(err)
+	}
+
+	// SplitCat on magic.
+	magic := g.Find("magic")
+	cat := &graph.Node{
+		Name: "magic$c", Kind: graph.Sequence, Boundary: graph.Boundary{Kind: graph.Delegated},
+		Origin: graph.Origin{Name: "magic", Role: graph.RoleWhole},
+		Enc:    graph.EncBytes,
+		Comb:   &graph.Combine{Kind: graph.CombCat, SplitAt: 1},
+		Children: []*graph.Node{
+			{Name: "magic$1", Kind: graph.Terminal, Enc: graph.EncBytes, Boundary: graph.Boundary{Kind: graph.Fixed, Size: 1}, Origin: graph.Origin{Name: "magic", Role: graph.RoleSplitLeft}},
+			{Name: "magic$2", Kind: graph.Terminal, Enc: graph.EncBytes, Boundary: graph.Boundary{Kind: graph.Fixed, Size: 1}, Origin: graph.Origin{Name: "magic", Role: graph.RoleSplitRight}},
+		},
+	}
+	if err := g.Replace(magic, cat); err != nil {
+		t.Fatal(err)
+	}
+
+	// ReadFromEnd on payload (Length-bounded, extent computable).
+	g.Find("payload").Reversed = true
+
+	// PadInsert into payload.
+	pad := &graph.Node{
+		Name: "pad$1", Kind: graph.Terminal, Enc: graph.EncBytes,
+		Boundary: graph.Boundary{Kind: graph.Fixed, Size: 4},
+		Origin:   graph.Origin{Role: graph.RolePad},
+	}
+	payload := g.Find("payload")
+	payload.Children = append([]*graph.Node{payload.Children[0], pad}, payload.Children[1:]...)
+
+	// BoundaryChange on hval (delimited -> length-prefixed).
+	hval := g.Find("hval")
+	lenField := &graph.Node{
+		Name: "hval$len", Kind: graph.Terminal, Enc: graph.EncUint,
+		Boundary: graph.Boundary{Kind: graph.Fixed, Size: 2},
+		Origin:   graph.Origin{Name: "hval$len", Role: graph.RoleLengthOf},
+		AutoFill: true,
+	}
+	newHval := &graph.Node{
+		Name: "hval", Kind: graph.Terminal, Enc: graph.EncBytes,
+		Boundary: graph.Boundary{Kind: graph.Length, Ref: "hval$len"},
+		Origin:   graph.Origin{Name: "hval", Role: graph.RoleWhole},
+	}
+	group := &graph.Node{
+		Name: "hval$g", Kind: graph.Sequence, Boundary: graph.Boundary{Kind: graph.Delegated},
+		Origin:   graph.Origin{Name: "hval", Role: graph.RoleGroup},
+		Children: []*graph.Node{lenField, newHval},
+	}
+	if err := g.Replace(hval, group); err != nil {
+		t.Fatal(err)
+	}
+
+	// ChildMove: swap kind and the magic split inside msg (no deps).
+	root := g.Root
+	root.Children[0], root.Children[1] = root.Children[1], root.Children[0]
+	g.Rebuild()
+
+	if err := g.Validate(); err != nil {
+		t.Fatalf("transformed graph invalid: %v", err)
+	}
+	return g
+}
+
+func TestRoundTripTransformed(t *testing.T) {
+	g := transformed(t)
+	for _, kind := range []uint64{3, 7} {
+		m := buildDemo(t, g, kind)
+		data, err := Serialize(m)
+		if err != nil {
+			t.Fatalf("Serialize: %v", err)
+		}
+		got, err := Parse(g, data, rng.New(9))
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		s1, _ := m.Snapshot()
+		s2, err := got.Snapshot()
+		if err != nil {
+			t.Fatalf("Snapshot out: %v", err)
+		}
+		if diff := msgtree.SnapshotsEqual(s1, s2); diff != "" {
+			t.Fatalf("kind=%d transformed round trip mismatch: %s\nin:\n%s\nout:\n%s",
+				kind, diff, msgtree.FormatSnapshot(s1), msgtree.FormatSnapshot(s2))
+		}
+	}
+}
+
+// TestTransformedWireDiffers: the obfuscated wire image must not contain
+// the plain serialization patterns (here: the magic bytes are split and
+// the payload is reversed, so "alpha;" must not appear).
+func TestTransformedWireDiffers(t *testing.T) {
+	g := transformed(t)
+	m := buildDemo(t, g, 3)
+	data, err := Serialize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("alpha;")) {
+		t.Error("reversed payload still contains plain substring")
+	}
+	if !bytes.Contains(data, []byte("ahpla")) {
+		t.Error("expected reversed name content in wire image")
+	}
+}
+
+// TestSplitRandomization: two serializations of the same logical message
+// differ (random split halves), yet parse to the same content — the
+// "various representations of the same message" challenge of table II.
+func TestSplitRandomization(t *testing.T) {
+	g := transformed(t)
+	m1 := buildDemo(t, g, 3)
+	m2 := buildDemo(t, g, 3)
+	m2.Rng = rng.New(777)
+	// Re-set plen-adjacent values is not needed: plen is auto-filled at
+	// serialize time using each message's rng.
+	d1, err := Serialize(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Serialize(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(d1, d2) {
+		t.Error("two serializations with different rngs are byte-identical; split randomization missing")
+	}
+	p1, err := Parse(g, d1, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(g, d2, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := p1.Snapshot()
+	s2, _ := p2.Snapshot()
+	if diff := msgtree.SnapshotsEqual(s1, s2); diff != "" {
+		t.Errorf("different representations decode differently: %s", diff)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	g := mustGraph(t, demoSpec)
+	m := buildDemo(t, g, 3)
+	data, err := Serialize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations before the End-bounded body must error, not panic.
+	// (Truncations inside the body merely shorten it: an End boundary
+	// absorbs any suffix, so those remain valid messages.)
+	bodyStart := len(data) - len("the-body")
+	for i := 0; i < bodyStart; i++ {
+		if _, err := Parse(g, data[:i], rng.New(1)); err == nil {
+			t.Errorf("truncation at %d accepted", i)
+		}
+	}
+	// Corrupted length field must error (length exceeds remaining).
+	bad := append([]byte{}, data...)
+	bad[3], bad[4] = 0xFF, 0xFF
+	if _, err := Parse(g, bad, rng.New(1)); err == nil {
+		t.Error("corrupt length accepted")
+	}
+}
+
+func TestSerializeUnsetField(t *testing.T) {
+	g := mustGraph(t, demoSpec)
+	m := msgtree.New(g, rng.New(1))
+	if _, err := Serialize(m); err == nil {
+		t.Error("serializing an empty message should fail (unset fields)")
+	}
+}
+
+func TestAutoFillRejectsUserWrites(t *testing.T) {
+	g := mustGraph(t, demoSpec)
+	m := buildDemo(t, g, 3)
+	if err := m.Scope().SetUint("plen", 5); err == nil {
+		t.Error("user write to auto-filled field accepted")
+	}
+}
+
+func TestRepSplitPairRoundTrip(t *testing.T) {
+	src := `
+protocol pairs;
+root seq m end {
+    uint blen 2;
+    seq blk length(blen) {
+        repeat recs end {
+            seq rec {
+                uint a 2;
+                uint b 1;
+            }
+        }
+    }
+    bytes tail end;
+}`
+	g := mustGraph(t, src)
+	// Hand-apply RepSplit: recs becomes pair(A^n, B^n).
+	recs := g.Find("recs")
+	mkRep := func(name string, role graph.Role, child *graph.Node) *graph.Node {
+		return &graph.Node{
+			Name: name, Kind: graph.Repetition,
+			Boundary: graph.Boundary{Kind: graph.Delegated},
+			Origin:   graph.Origin{Name: "recs", Role: role},
+			Children: []*graph.Node{child},
+		}
+	}
+	rec := g.Find("rec")
+	aPart := rec.Children[0]
+	bPart := rec.Children[1]
+	pair := &graph.Node{
+		Name: "recs$p", Kind: graph.Sequence,
+		Boundary: recs.Boundary, // End
+		Origin:   graph.Origin{Name: "recs", Role: graph.RoleWhole},
+		Pair:     &graph.RepPair{SizeA: 2, SizeB: 1},
+		Children: []*graph.Node{
+			mkRep("recs$a", graph.RoleSplitLeft, aPart),
+			mkRep("recs$b", graph.RoleSplitRight, bPart),
+		},
+	}
+	if err := g.Replace(recs, pair); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("rep-split graph invalid: %v", err)
+	}
+
+	m := msgtree.New(g, rng.New(5))
+	s := m.Scope()
+	for i := 0; i < 4; i++ {
+		item, err := s.Add("recs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := item.SetUint("a", uint64(0x200+i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := item.SetUint("b", uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetString("tail", "zz"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Serialize(m)
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	// Layout: blen(2) | a0 a1 a2 a3 (8 bytes) | b0..b3 (4) | "zz"
+	if len(data) != 2+8+4+2 {
+		t.Fatalf("wire length = %d", len(data))
+	}
+	wantAs := []byte{2, 0, 2, 1, 2, 2, 2, 3}
+	if !bytes.Equal(data[2:10], wantAs) {
+		t.Errorf("A-block = %x, want %x (a^n b^n layout)", data[2:10], wantAs)
+	}
+	got, err := Parse(g, data, rng.New(6))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s1, _ := m.Snapshot()
+	s2, err := got.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := msgtree.SnapshotsEqual(s1, s2); diff != "" {
+		t.Fatalf("rep-split round trip: %s", diff)
+	}
+	items, err := got.Scope().Items("recs")
+	if err != nil || len(items) != 4 {
+		t.Fatalf("parsed items = %d, %v", len(items), err)
+	}
+	if v, _ := items[3].GetUint("a"); v != 0x203 {
+		t.Errorf("items[3].a = %#x", v)
+	}
+}
+
+func TestSerializeWithSpansPlain(t *testing.T) {
+	g := mustGraph(t, demoSpec)
+	m := buildDemo(t, g, 3)
+	data, spans, err := SerializeWithSpans(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Serialize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, ref) {
+		t.Fatal("SerializeWithSpans bytes differ from Serialize")
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	// First field is magic at [0,2).
+	if spans[0].Name != "magic" || spans[0].Start != 0 || spans[0].End != 2 {
+		t.Errorf("first span = %v", spans[0])
+	}
+	for _, sp := range spans {
+		if sp.Start < 0 || sp.End > len(data) || sp.Start > sp.End {
+			t.Errorf("span %v out of bounds (len %d)", sp, len(data))
+		}
+	}
+	// The "name" span must contain the value bytes.
+	for _, sp := range spans {
+		if sp.Name == "name" {
+			if string(data[sp.Start:sp.End]) != "alpha" {
+				t.Errorf("name span content = %q", data[sp.Start:sp.End])
+			}
+		}
+	}
+}
+
+func TestSerializeWithSpansReversed(t *testing.T) {
+	g := transformed(t) // payload reversed, magic split, hval length-prefixed
+	m := buildDemo(t, g, 3)
+	data, spans, err := SerializeWithSpans(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Serialize(m)
+	if err == nil && !bytes.Equal(data, ref) {
+		// Serialize draws fresh split randomness per call, so the byte
+		// images may differ; lengths must still match.
+		if len(data) != len(ref) {
+			t.Errorf("lengths differ: %d vs %d", len(data), len(ref))
+		}
+	}
+	// The reversed payload contains the name field; its mapped span must
+	// hold the reversed value bytes.
+	found := false
+	for _, sp := range spans {
+		if sp.Name == "name" {
+			found = true
+			got := append([]byte(nil), data[sp.Start:sp.End]...)
+			for i, j := 0, len(got)-1; i < j; i, j = i+1, j-1 {
+				got[i], got[j] = got[j], got[i]
+			}
+			if string(got) != "alpha" {
+				t.Errorf("reversed name span = %q (un-reversed %q)", data[sp.Start:sp.End], got)
+			}
+		}
+		if sp.Start < 0 || sp.End > len(data) || sp.Start > sp.End {
+			t.Errorf("span %v out of bounds", sp)
+		}
+	}
+	if !found {
+		t.Error("name span missing")
+	}
+	// A parse of the span-serialized bytes round-trips.
+	back, err := Parse(g, data, rng.New(3))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s1, _ := m.Snapshot()
+	s2, _ := back.Snapshot()
+	if diff := msgtree.SnapshotsEqual(s1, s2); diff != "" {
+		t.Errorf("round trip: %s", diff)
+	}
+}

@@ -1,0 +1,86 @@
+// Package protoobf is a Go implementation of specification-based protocol
+// obfuscation (Duchêne, Alata, Nicomette, Kaâniche, Le Guernic:
+// "Specification-based Protocol Obfuscation", DSN 2018).
+//
+// The framework obfuscates a communication protocol at the level of its
+// message-format specification. The specification is compiled into a
+// message format graph; invertible generic transformations (SplitAdd,
+// SplitCat, ConstXor, BoundaryChange, PadInsert, ReadFromEnd, TabSplit,
+// RepSplit, ChildMove, ...) are applied randomly to the graph; and the
+// framework derives both a runtime serializer/parser and the Go source
+// code of a standalone protocol library for the transformed format.
+//
+// Aggregation transformations execute inside the field setters and
+// getters, ordering transformations during serialization, so the plain
+// message never exists contiguously in process memory — which is what
+// makes probe placement and classic protocol reverse engineering hard
+// (the paper's §II-C challenges).
+//
+// # Quick start
+//
+//	proto, err := protoobf.Compile(mySpec, protoobf.Options{PerNode: 2, Seed: 42})
+//	msg := proto.NewMessage()
+//	s := msg.Scope()
+//	_ = s.SetUint("txid", 7)
+//	wireBytes, err := proto.Serialize(msg)
+//	back, err := proto.Parse(wireBytes)
+//
+// Both communicating peers must be built from the same (spec, seed,
+// options) triple; Compile is deterministic, so re-generating the
+// library at regular intervals with a fresh seed yields a new protocol
+// version without touching application code (paper §I).
+package protoobf
+
+import (
+	"protoobf/internal/core"
+	"protoobf/internal/graph"
+	"protoobf/internal/msgtree"
+	"protoobf/internal/transform"
+)
+
+// Protocol is a compiled, possibly obfuscated message format. See
+// internal/core for the orchestration details.
+type Protocol = core.Protocol
+
+// Options selects the obfuscation workload.
+type Options = core.ObfuscationOptions
+
+// Message is a message AST under construction or parsed.
+type Message = msgtree.Message
+
+// Scope is the accessor cursor used to set and get fields by their
+// original specification names.
+type Scope = msgtree.Scope
+
+// Graph is a message format graph (advanced use: inspection, custom
+// transformation pipelines).
+type Graph = graph.Graph
+
+// Rotation derives deterministic protocol versions per epoch, the
+// deployment model of the paper's conclusion (new obfuscated versions at
+// regular intervals).
+type Rotation = core.Rotation
+
+// Compile parses a message-format specification and applies the
+// requested obfuscation. The specification language is documented in
+// internal/spec.
+func Compile(source string, opts Options) (*Protocol, error) {
+	return core.Compile(source, opts)
+}
+
+// NewRotation prepares an epoch-keyed family of protocol versions for
+// the same specification. Peers sharing (spec, options) agree on every
+// epoch's dialect without further coordination.
+func NewRotation(source string, opts Options) (*Rotation, error) {
+	return core.NewRotation(source, opts)
+}
+
+// TransformNames lists the generic transformations of the catalog
+// (table I of the paper), usable in Options.Only / Options.Exclude.
+func TransformNames() []string {
+	var out []string
+	for _, t := range transform.Catalog() {
+		out = append(out, t.Name())
+	}
+	return out
+}
