@@ -1,0 +1,123 @@
+// Live rotation (paper §VIII over a real byte stream): two peers
+// exchange obfuscated messages over a connection while the protocol
+// dialect rotates mid-session. Each frame carries its epoch outside the
+// obfuscated payload; when peer A advances the epoch, peer B follows
+// automatically on its next receive — no out-of-band coordination, and a
+// corpus captured in one epoch is useless against the next.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"protoobf"
+)
+
+const spec = `
+protocol beacon;
+root seq msg end {
+    uint  device 2;
+    uint  seqno 4;
+    uint  blen 2;
+    seq body length(blen) {
+        bytes status delim ";" min 1;
+    }
+    bytes sig end;
+}
+`
+
+const epochs = 4 // epoch 0 plus three mid-session rotations
+
+func main() {
+	opts := protoobf.Options{PerNode: 2, Seed: 0xC0FFEE}
+
+	// Peer A and peer B configured identically at deployment: each owns
+	// an independent Rotation built from the same (spec, options).
+	rotA, err := protoobf.NewRotation(spec, opts)
+	check(err)
+	rotB, err := protoobf.NewRotation(spec, opts)
+	check(err)
+
+	connA, connB := net.Pipe()
+	defer connA.Close()
+	defer connB.Close()
+
+	a, err := protoobf.NewSession(connA, rotA)
+	check(err)
+	b, err := protoobf.NewSession(connB, rotB)
+	check(err)
+
+	// Peer B: decode every beacon with the dialect its frame names, and
+	// acknowledge at B's current epoch — which follows A's rotations.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			m, err := b.Recv()
+			if err != nil {
+				return // pipe closed by A
+			}
+			s := m.Scope()
+			seqno, _ := s.GetUint("seqno")
+			status, _ := s.GetBytes("status")
+			fmt.Printf("  B: epoch %d decoded seqno=%d status=%q\n", b.Epoch(), seqno, status)
+
+			ack, err := b.NewMessage()
+			if err != nil {
+				log.Println("B:", err)
+				return
+			}
+			as := ack.Scope()
+			as.SetUint("device", 99)
+			as.SetUint("seqno", seqno)
+			as.SetString("status", "ack")
+			as.SetBytes("sig", nil)
+			if err := b.Send(ack); err != nil {
+				log.Println("B:", err)
+				return
+			}
+		}
+	}()
+
+	seqno := uint64(0)
+	for epoch := uint64(0); epoch < epochs; epoch++ {
+		proto, err := rotA.Version(epoch)
+		check(err)
+		fmt.Printf("epoch %d: dialect with %d transformations\n", epoch, len(proto.Applied))
+
+		for i := 0; i < 2; i++ {
+			seqno++
+			m, err := a.NewMessage()
+			check(err)
+			s := m.Scope()
+			check(s.SetUint("device", 42))
+			check(s.SetUint("seqno", seqno))
+			check(s.SetString("status", "ok"))
+			check(s.SetBytes("sig", []byte{0xAA, 0xBB}))
+			check(a.Send(m))
+
+			ack, err := a.Recv()
+			check(err)
+			v, _ := ack.Scope().GetUint("seqno")
+			fmt.Printf("  A: ack for seqno=%d (A now at epoch %d)\n", v, a.Epoch())
+		}
+
+		// Rotate mid-session: only A decides; B follows on its next Recv.
+		if epoch+1 < epochs {
+			next, err := a.Rotate()
+			check(err)
+			fmt.Printf("A rotates the session to epoch %d\n", next)
+		}
+	}
+
+	connA.Close()
+	<-done
+	fmt.Printf("\nexchanged %d beacons across %d epochs over one connection\n", seqno, epochs)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

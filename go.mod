@@ -1,0 +1,3 @@
+module protoobf
+
+go 1.22

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync"
+
+	"protoobf/internal/graph"
 )
 
 // Rotation implements the deployment model sketched in the paper's
@@ -55,6 +57,17 @@ func (r *Rotation) Version(epoch uint64) (*Protocol, error) {
 	}
 	r.cache[epoch] = p
 	return p, nil
+}
+
+// Graph returns the transformed message-format graph of the given epoch.
+// It is the session transport's Versioner interface (internal/session
+// sits below this package and traffics in graphs, not Protocols).
+func (r *Rotation) Graph(epoch uint64) (*graph.Graph, error) {
+	p, err := r.Version(epoch)
+	if err != nil {
+		return nil, err
+	}
+	return p.Graph, nil
 }
 
 // deriveSeed mixes the master seed and the epoch with an

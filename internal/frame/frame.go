@@ -4,16 +4,62 @@
 // End-bounded fields), so the transport adds a 4-byte big-endian length.
 // This is a transport concern, deliberately outside the message format
 // that the obfuscation transforms.
+//
+// Two frame flavors share the length prefix:
+//
+//	plain frame:  [4-byte length][payload]
+//	epoch frame:  [4-byte length][8-byte epoch][payload]
+//
+// The epoch frame carries the dialect epoch of the session layer
+// (internal/session) outside the obfuscated payload, mirroring the
+// transport/format split of the plain frame: the epoch selects which
+// protocol version decodes the payload, so it cannot itself live inside
+// the version-dependent bytes.
+//
+// The *Append variants and the package-level buffer pool let steady-state
+// readers avoid a per-message allocation: read into a pooled or reused
+// buffer, process, release.
 package frame
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MaxFrame bounds a single message on the wire.
 const MaxFrame = 1 << 20
+
+// EpochHeaderLen is the size of the epoch frame preamble: 4-byte length
+// plus 8-byte epoch.
+const EpochHeaderLen = 12
+
+// bufPool recycles payload buffers between reads and serializations. It
+// is shared by this package and internal/session so the whole transport
+// stack draws from one pool.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// GetBuffer returns a zero-length pooled buffer with nonzero capacity.
+func GetBuffer() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuffer returns a buffer obtained from GetBuffer (or grown from one)
+// to the pool. Oversized buffers are dropped so one giant frame does not
+// pin its memory forever.
+func PutBuffer(b []byte) {
+	if cap(b) == 0 || cap(b) > MaxFrame {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
 
 // Write writes one length-prefixed message.
 func Write(w io.Writer, payload []byte) error {
@@ -29,19 +75,94 @@ func Write(w io.Writer, payload []byte) error {
 	return err
 }
 
-// Read reads one length-prefixed message.
+// Read reads one length-prefixed message into a fresh buffer.
 func Read(r io.Reader) ([]byte, error) {
+	return ReadAppend(r, nil)
+}
+
+// ReadAppend reads one length-prefixed message, appending the payload to
+// buf (which may be nil or a recycled buffer) and returning the extended
+// slice. The capacity of buf is reused when sufficient, so a steady-state
+// read loop passing its previous buffer back in does not allocate.
+func ReadAppend(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return buf, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("frame: length %d exceeds limit %d", n, MaxFrame)
+		return buf, fmt.Errorf("frame: length %d exceeds limit %d", n, MaxFrame)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
+	return ReadBody(r, buf, int(n))
+}
+
+// EncodeEpochHeader fills hdr (EpochHeaderLen bytes) with the epoch
+// frame preamble. Callers owning a long-lived header scratch (e.g. a
+// session transport) avoid the stack-to-heap escape a local array would
+// pay when handed to an io.Writer.
+func EncodeEpochHeader(hdr []byte, epoch uint64, payloadLen int) error {
+	if payloadLen > MaxFrame {
+		return fmt.Errorf("frame: payload of %d bytes exceeds limit %d", payloadLen, MaxFrame)
+	}
+	binary.BigEndian.PutUint32(hdr[:4], uint32(payloadLen))
+	binary.BigEndian.PutUint64(hdr[4:EpochHeaderLen], epoch)
+	return nil
+}
+
+// DecodeEpochHeader parses an epoch frame preamble previously read from
+// the stream.
+func DecodeEpochHeader(hdr []byte) (payloadLen int, epoch uint64, err error) {
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return 0, 0, fmt.Errorf("frame: length %d exceeds limit %d", n, MaxFrame)
+	}
+	return int(n), binary.BigEndian.Uint64(hdr[4:EpochHeaderLen]), nil
+}
+
+// WriteEpoch writes one epoch-tagged frame. The length prefix counts the
+// payload only; the epoch rides between length and payload.
+func WriteEpoch(w io.Writer, epoch uint64, payload []byte) error {
+	var hdr [EpochHeaderLen]byte
+	if err := EncodeEpochHeader(hdr[:], epoch, len(payload)); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadEpochAppend reads one epoch-tagged frame, appending the payload to
+// buf as ReadAppend does, and returns the extended slice and the frame's
+// epoch.
+func ReadEpochAppend(r io.Reader, buf []byte) ([]byte, uint64, error) {
+	var hdr [EpochHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return buf, 0, err
+	}
+	n, epoch, err := DecodeEpochHeader(hdr[:])
+	if err != nil {
+		return buf, 0, err
+	}
+	out, err := ReadBody(r, buf, n)
+	return out, epoch, err
+}
+
+// ReadBody appends n bytes from r to buf, reusing buf's capacity: the
+// payload-read half of a frame read, for callers that decode the header
+// themselves.
+func ReadBody(r io.Reader, buf []byte, n int) ([]byte, error) {
+	start := len(buf)
+	if cap(buf)-start < n {
+		grown := make([]byte, start+n, start+n)
+		copy(grown, buf)
+		buf = grown
+	} else {
+		buf = buf[:start+n]
+	}
+	if _, err := io.ReadFull(r, buf[start:]); err != nil {
+		return buf[:start], err
 	}
 	return buf, nil
 }

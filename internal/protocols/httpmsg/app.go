@@ -5,14 +5,16 @@ import (
 	"net"
 	"sync"
 
-	"protoobf/internal/frame"
 	"protoobf/internal/graph"
 	"protoobf/internal/rng"
+	"protoobf/internal/session"
 	"protoobf/internal/wire"
 )
 
 // Server is the simplified HTTP core application serving the canned
 // content of RespondTo through a (possibly obfuscated) protocol library.
+// Connections run over the obfuscated session transport
+// (internal/session), which frames each message with its dialect epoch.
 type Server struct {
 	ReqGraph  *graph.Graph
 	RespGraph *graph.Graph
@@ -36,15 +38,7 @@ func (s *Server) Listen(addr string) (string, error) {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go s.serveConn(conn)
-		}
-	}()
+	go session.Serve(ln, s.serveSession)
 	return ln.Addr().String(), nil
 }
 
@@ -60,24 +54,13 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
+func (s *Server) serveSession(t *session.Transport) {
 	s.mu.Lock()
 	r := rng.New(s.Rng.Int63())
 	s.mu.Unlock()
-	for {
-		data, err := frame.Read(conn)
-		if err != nil {
-			return
-		}
-		reply, err := s.Handle(data, r)
-		if err != nil {
-			return
-		}
-		if err := frame.Write(conn, reply); err != nil {
-			return
-		}
-	}
+	_ = t.ServeLoop(func(req []byte) ([]byte, error) {
+		return s.Handle(req, r)
+	})
 }
 
 // Handle processes one serialized request and returns the serialized
@@ -104,6 +87,7 @@ type Client struct {
 	RespGraph *graph.Graph
 	Rng       *rng.R
 	conn      net.Conn
+	sess      *session.Transport
 }
 
 // Dial connects to a server.
@@ -112,11 +96,18 @@ func Dial(addr string, reqG, respG *graph.Graph, seed int64) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{ReqGraph: reqG, RespGraph: respG, Rng: rng.New(seed), conn: conn}, nil
+	return &Client{
+		ReqGraph: reqG, RespGraph: respG, Rng: rng.New(seed),
+		conn: conn, sess: session.NewTransport(conn),
+	}, nil
 }
 
 // Close terminates the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.sess.Release()
+	return err
+}
 
 // Do sends a request and returns the decoded response.
 func (c *Client) Do(req Request) (Response, error) {
@@ -129,10 +120,7 @@ func (c *Client) Do(req Request) (Response, error) {
 	if err != nil {
 		return resp, err
 	}
-	if err := frame.Write(c.conn, data); err != nil {
-		return resp, err
-	}
-	raw, err := frame.Read(c.conn)
+	raw, _, err := c.sess.Roundtrip(data)
 	if err != nil {
 		return resp, err
 	}

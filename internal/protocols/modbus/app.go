@@ -3,15 +3,13 @@ package modbus
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
-
-	"protoobf/internal/frame"
 
 	"protoobf/internal/graph"
 	"protoobf/internal/msgtree"
 	"protoobf/internal/rng"
+	"protoobf/internal/session"
 	"protoobf/internal/wire"
 )
 
@@ -253,18 +251,12 @@ func enabled(s *msgtree.Scope, opt string) (*msgtree.Scope, error) {
 	return s.Enable(opt)
 }
 
-// --- framed transport -------------------------------------------------------
-
-// WriteFrame writes one length-prefixed message (see package frame).
-func WriteFrame(w io.Writer, payload []byte) error { return frame.Write(w, payload) }
-
-// ReadFrame reads one length-prefixed message (see package frame).
-func ReadFrame(r io.Reader) ([]byte, error) { return frame.Read(r) }
-
 // Server is the Modbus core application: it answers requests over a
 // register bank, parsing and serializing through a (possibly obfuscated)
 // protocol library. Both peers must be generated with the same
-// transformations, as the paper requires (§IV).
+// transformations, as the paper requires (§IV). Connections run over the
+// obfuscated session transport (internal/session), which frames each
+// message with its dialect epoch.
 type Server struct {
 	ReqGraph  *graph.Graph
 	RespGraph *graph.Graph
@@ -290,7 +282,7 @@ func (s *Server) Listen(addr string) (string, error) {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
-	go s.acceptLoop(ln)
+	go session.Serve(ln, s.serveSession)
 	return ln.Addr().String(), nil
 }
 
@@ -306,34 +298,13 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) acceptLoop(ln net.Listener) {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		go s.serveConn(conn)
-	}
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
+func (s *Server) serveSession(t *session.Transport) {
 	s.mu.Lock()
 	r := rng.New(s.Rng.Int63())
 	s.mu.Unlock()
-	for {
-		frame, err := ReadFrame(conn)
-		if err != nil {
-			return
-		}
-		reply, err := s.Handle(frame, r)
-		if err != nil {
-			return
-		}
-		if err := WriteFrame(conn, reply); err != nil {
-			return
-		}
-	}
+	_ = t.ServeLoop(func(req []byte) ([]byte, error) {
+		return s.Handle(req, r)
+	})
 }
 
 // Handle processes one serialized request and returns the serialized
@@ -361,6 +332,7 @@ type Client struct {
 	RespGraph *graph.Graph
 	Rng       *rng.R
 	conn      net.Conn
+	sess      *session.Transport
 }
 
 // Dial connects to a server.
@@ -369,11 +341,18 @@ func Dial(addr string, reqG, respG *graph.Graph, seed int64) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{ReqGraph: reqG, RespGraph: respG, Rng: rng.New(seed), conn: conn}, nil
+	return &Client{
+		ReqGraph: reqG, RespGraph: respG, Rng: rng.New(seed),
+		conn: conn, sess: session.NewTransport(conn),
+	}, nil
 }
 
 // Close terminates the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.sess.Release()
+	return err
+}
 
 // Do sends a request and returns the decoded response.
 func (c *Client) Do(req Request) (Response, error) {
@@ -386,14 +365,11 @@ func (c *Client) Do(req Request) (Response, error) {
 	if err != nil {
 		return resp, err
 	}
-	if err := WriteFrame(c.conn, data); err != nil {
-		return resp, err
-	}
-	frame, err := ReadFrame(c.conn)
+	raw, _, err := c.sess.Roundtrip(data)
 	if err != nil {
 		return resp, err
 	}
-	back, err := wire.Parse(c.RespGraph, frame, c.Rng)
+	back, err := wire.Parse(c.RespGraph, raw, c.Rng)
 	if err != nil {
 		return resp, err
 	}

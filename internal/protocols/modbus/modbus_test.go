@@ -324,23 +324,6 @@ func TestBank(t *testing.T) {
 	}
 }
 
-func TestFrameRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	if err := WriteFrame(&buf, []byte("hello")); err != nil {
-		t.Fatal(err)
-	}
-	got, err := ReadFrame(&buf)
-	if err != nil || string(got) != "hello" {
-		t.Fatalf("frame = %q, %v", got, err)
-	}
-	// Oversized frames rejected.
-	var hdr bytes.Buffer
-	hdr.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
-	if _, err := ReadFrame(&hdr); err == nil {
-		t.Error("oversized frame accepted")
-	}
-}
-
 // TestExceptionResponses: malformed requests yield exception responses
 // (fc|0x80 + exception code) that round-trip plain and obfuscated.
 func TestExceptionResponses(t *testing.T) {

@@ -1,0 +1,232 @@
+package session
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"protoobf/internal/frame"
+	"protoobf/internal/graph"
+	"protoobf/internal/msgtree"
+	"protoobf/internal/rng"
+	"protoobf/internal/wire"
+)
+
+// Versioner provides the (transformed) message-format graph of each
+// dialect epoch. core.Rotation is the canonical implementation; Fixed
+// pins every epoch to one graph. The interface deliberately traffics in
+// graphs rather than core.Protocol so the session layer sits below the
+// orchestration layer (core imports codegen; the protocol applications
+// import session).
+type Versioner interface {
+	Graph(epoch uint64) (*graph.Graph, error)
+}
+
+// Fixed returns a Versioner that serves the same dialect for every
+// epoch, for peers that frame with the session transport but do not
+// rotate.
+func Fixed(g *graph.Graph) Versioner { return fixed{g} }
+
+type fixed struct{ g *graph.Graph }
+
+func (f fixed) Graph(uint64) (*graph.Graph, error) { return f.g, nil }
+
+// DefaultMaxEpochLead bounds how far ahead of the current epoch an
+// incoming frame's epoch may point. Compiling a dialect costs real CPU
+// and the version cache is per-epoch, so without a bound a forged epoch
+// header would let a peer force arbitrary compilation work (and cache
+// growth) with a single garbage frame. Cooperating peers rotate one
+// epoch at a time, so any small bound is generous.
+const DefaultMaxEpochLead = 64
+
+// Conn is an obfuscated message session over a byte stream: Send
+// serializes a message with the dialect of the epoch it was composed for,
+// Recv decodes each frame with the protocol version named by the frame's
+// epoch header, and either peer may advance the epoch mid-session with
+// Advance/Rotate — the other follows automatically on its next Recv.
+//
+// Conn is safe for concurrent Send, Recv, NewMessage and Advance calls.
+type Conn struct {
+	t        *Transport
+	versions Versioner
+
+	// MaxEpochLead is the highest accepted distance between an incoming
+	// frame's epoch and the current epoch (default DefaultMaxEpochLead).
+	// Raise it only for peers that may legitimately skip many epochs at
+	// once (e.g. wall-clock-derived epochs after a long partition).
+	MaxEpochLead uint64
+
+	mu      sync.Mutex // guards byGraph and mrng
+	byGraph map[*graph.Graph]uint64
+	mrng    *rng.R
+
+	smu  sync.Mutex // serializes Send's buffer reuse
+	wbuf []byte
+
+	pmu  sync.Mutex // serializes Recv's buffer reuse
+	rbuf []byte
+}
+
+// NewConn opens a session over rw. The epoch-0 dialect is compiled (or
+// fetched from the Versioner's cache) eagerly so configuration errors
+// surface here rather than on the first message.
+func NewConn(rw io.ReadWriter, versions Versioner) (*Conn, error) {
+	c := &Conn{
+		t:            NewTransport(rw),
+		versions:     versions,
+		MaxEpochLead: DefaultMaxEpochLead,
+		byGraph:      make(map[*graph.Graph]uint64),
+		mrng:         rng.New(0x5e5510),
+		wbuf:         frame.GetBuffer(),
+		rbuf:         frame.GetBuffer(),
+	}
+	if _, err := c.dialect(0); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Transport exposes the underlying byte layer (raw payload exchange,
+// benchmarking).
+func (c *Conn) Transport() *Transport { return c.t }
+
+// Release returns the session's pooled buffers (and its transport's) to
+// the shared pool. Call it once the session is done — typically after
+// closing the underlying connection, which remains the owner's job. The
+// session must not be used afterwards.
+func (c *Conn) Release() {
+	c.smu.Lock()
+	frame.PutBuffer(c.wbuf)
+	c.wbuf = nil
+	c.smu.Unlock()
+	c.pmu.Lock()
+	frame.PutBuffer(c.rbuf)
+	c.rbuf = nil
+	c.pmu.Unlock()
+	c.t.Release()
+}
+
+// Epoch returns the current send epoch (lock-free).
+func (c *Conn) Epoch() uint64 { return c.t.Epoch() }
+
+// dialect fetches the graph of epoch and records it so Send can recover
+// the epoch a message was composed for.
+func (c *Conn) dialect(epoch uint64) (*graph.Graph, error) {
+	g, err := c.versions.Graph(epoch)
+	if err != nil {
+		return nil, fmt.Errorf("session: epoch %d: %w", epoch, err)
+	}
+	c.mu.Lock()
+	c.byGraph[g] = epoch
+	c.mu.Unlock()
+	return g, nil
+}
+
+// NewMessage returns an empty message for the current epoch's dialect.
+// The message stays bound to that dialect: Send tags it with the epoch it
+// was composed for even if the session rotates in between, so an epoch
+// bump concurrent with message construction is harmless.
+func (c *Conn) NewMessage() (*msgtree.Message, error) {
+	g, err := c.dialect(c.Epoch())
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	r := c.mrng.Split()
+	c.mu.Unlock()
+	return msgtree.New(g, r), nil
+}
+
+// Send serializes m and writes it framed under the epoch whose dialect
+// composed it. Steady-state sends reuse the connection's serialization
+// buffer and do not allocate.
+func (c *Conn) Send(m *msgtree.Message) error {
+	c.mu.Lock()
+	epoch, ok := c.byGraph[m.G]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("session: message graph %q does not belong to this session", m.G.ProtocolName)
+	}
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	out, err := wire.SerializeAppend(m, c.wbuf[:0])
+	if err != nil {
+		return err
+	}
+	c.wbuf = out
+	return c.t.sendPayloadAt(epoch, out)
+}
+
+// Recv reads one frame and decodes it with the dialect of the frame's
+// epoch. Receiving an epoch above the current send epoch advances it
+// (the follow rule), so one peer's Rotate pulls the other along — but
+// only after the payload decodes, and only within MaxEpochLead of the
+// current epoch: a malformed or forged frame can neither move the
+// session's epoch nor force compilation of arbitrary dialects. Frames
+// from older epochs still decode — their dialects stay cached — which
+// tolerates messages in flight across a rotation.
+func (c *Conn) Recv() (*msgtree.Message, error) {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	buf, epoch, err := c.t.recvFrame(c.rbuf[:0])
+	c.rbuf = buf
+	if err != nil {
+		return nil, err
+	}
+	if cur := c.Epoch(); epoch > cur && epoch-cur > c.MaxEpochLead {
+		return nil, fmt.Errorf("session: frame epoch %d is %d ahead of current %d (max lead %d)",
+			epoch, epoch-cur, cur, c.MaxEpochLead)
+	}
+	g, err := c.dialect(epoch)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	r := c.mrng.Split()
+	c.mu.Unlock()
+	// The parser copies terminal content out of buf, so reusing rbuf for
+	// the next frame cannot corrupt the returned message.
+	m, err := wire.Parse(g, buf, r)
+	if err != nil {
+		return nil, fmt.Errorf("session: epoch %d: %w", epoch, err)
+	}
+	c.t.Advance(epoch)
+	return m, nil
+}
+
+// Advance raises the send epoch to epoch, compiling (and caching) its
+// dialect first so a failing epoch never becomes current. Epochs are
+// monotonic; advancing to the current epoch or below is a no-op.
+func (c *Conn) Advance(epoch uint64) error {
+	if _, err := c.dialect(epoch); err != nil {
+		return err
+	}
+	c.t.Advance(epoch)
+	return nil
+}
+
+// Rotate advances to the next epoch and returns it.
+func (c *Conn) Rotate() (uint64, error) {
+	next := c.Epoch() + 1
+	if err := c.Advance(next); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// Pair connects two in-memory peers with net.Pipe, each speaking the
+// dialect family of its Versioner. Both sides must be built from the same
+// (spec, options) so their epochs agree, exactly as deployed peers would
+// be (paper §VIII).
+func Pair(a, b Versioner) (*Conn, *Conn, error) {
+	ca, cb := newPipe()
+	x, err := NewConn(ca, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	y, err := NewConn(cb, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, y, nil
+}

@@ -1,0 +1,28 @@
+// Package session is the obfuscated session transport of the framework:
+// it carries obfuscated messages over a live byte stream and rotates the
+// protocol dialect mid-connection, realizing the paper's deployment model
+// (§VIII — "deployment of new versions, at regular intervals") on an
+// actual connection rather than in memory.
+//
+// The package is split in two layers, mirroring the transport/format
+// split of internal/frame:
+//
+//   - Transport frames raw payloads over any io.ReadWriter, tagging every
+//     frame with a dialect epoch (outside the obfuscated bytes, next to
+//     the length prefix). It knows nothing about protocol graphs and is
+//     what the protocol core applications (internal/protocols/httpmsg,
+//     internal/protocols/modbus) build their request/response loops on.
+//
+//   - Conn adds the dialect logic on top of a core.Rotation (or any
+//     Versioner): Send serializes a message with the dialect its graph
+//     belongs to, Recv decodes each incoming frame with the cached
+//     protocol version of the frame's epoch, and either peer may advance
+//     the epoch mid-session — the other follows automatically because
+//     receiving a higher epoch raises the local send epoch.
+//
+// Concurrency: a single writer mutex serializes frame writes, a single
+// reader mutex serializes frame reads, and the current epoch is read
+// lock-free through an atomic, so Epoch() on the hot path never contends
+// with senders. Steady-state Send/Recv reuses pooled buffers shared with
+// internal/frame and does not allocate per message on the payload path.
+package session

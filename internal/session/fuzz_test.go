@@ -1,0 +1,72 @@
+package session
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"protoobf/internal/core"
+	"protoobf/internal/frame"
+)
+
+// discardWriter adapts a reader-only fuzz stream into the io.ReadWriter
+// NewConn expects; writes vanish.
+type discardWriter struct{ io.Reader }
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// FuzzSessionRecv feeds arbitrary byte streams to a session receiver:
+// malformed, truncated or cross-dialect frames must surface errors, never
+// panic or hang. The loop is bounded because every frame consumes at
+// least a header's worth of input.
+func FuzzSessionRecv(f *testing.F) {
+	proto, err := core.Compile(beaconSpec, core.ObfuscationOptions{PerNode: 2, Seed: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	// Seed corpus: a valid frame, its truncations, a huge length, and an
+	// unknown-epoch frame.
+	valid := &bytes.Buffer{}
+	tr := NewTransport(valid)
+	if err := tr.SendPayload([]byte("not a beacon")); err != nil {
+		f.Fatal(err)
+	}
+	vb := valid.Bytes()
+	f.Add(vb)
+	f.Add(vb[:len(vb)-3])
+	f.Add(vb[:frame.EpochHeaderLen-2])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(append([]byte{0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 9}, 'h', 'i'))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := NewConn(discardWriter{bytes.NewReader(data)}, Fixed(proto.Graph))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := c.Recv(); err != nil {
+				break
+			}
+		}
+	})
+}
+
+// FuzzTransportRecv exercises the frame layer alone with buffer reuse
+// across frames.
+func FuzzTransportRecv(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 5, 0, 0, 0, 0, 0, 0, 0, 1, 'a', 'b'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := NewTransport(discardWriter{bytes.NewReader(data)})
+		buf := frame.GetBuffer()
+		defer frame.PutBuffer(buf)
+		for {
+			out, _, err := tr.RecvPayload(buf[:0])
+			if err != nil {
+				break
+			}
+			buf = out
+		}
+	})
+}

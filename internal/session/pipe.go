@@ -1,0 +1,88 @@
+package session
+
+import (
+	"io"
+	"sync"
+)
+
+// halfPipe is one direction of an in-memory duplex stream. Unlike
+// net.Pipe it is buffered: a write completes without a rendezvous with
+// the reader, so a single goroutine can send a message and then receive
+// it from the other end — what the differential tests and benchmarks do.
+type halfPipe struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	off    int
+	closed bool
+}
+
+func newHalfPipe() *halfPipe {
+	h := &halfPipe{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *halfPipe) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, io.ErrClosedPipe
+	}
+	if h.off > 0 && h.off == len(h.buf) {
+		h.buf = h.buf[:0]
+		h.off = 0
+	}
+	h.buf = append(h.buf, p...)
+	h.cond.Broadcast()
+	return len(p), nil
+}
+
+func (h *halfPipe) Read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.off == len(h.buf) && !h.closed {
+		h.cond.Wait()
+	}
+	if h.off == len(h.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.buf[h.off:])
+	h.off += n
+	return n, nil
+}
+
+func (h *halfPipe) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// pipeEnd is one endpoint of the duplex: it reads from one half and
+// writes to the other.
+type pipeEnd struct {
+	r *halfPipe
+	w *halfPipe
+}
+
+func (e *pipeEnd) Read(p []byte) (int, error)  { return e.r.Read(p) }
+func (e *pipeEnd) Write(p []byte) (int, error) { return e.w.Write(p) }
+
+// Close closes both directions; pending and future reads on either end
+// drain the buffer and then return io.EOF.
+func (e *pipeEnd) Close() error {
+	e.r.close()
+	e.w.close()
+	return nil
+}
+
+// newPipe returns the two ends of a buffered in-memory duplex stream.
+func newPipe() (io.ReadWriteCloser, io.ReadWriteCloser) {
+	ab, ba := newHalfPipe(), newHalfPipe()
+	return &pipeEnd{r: ba, w: ab}, &pipeEnd{r: ab, w: ba}
+}
+
+// NewDuplex exposes the buffered duplex for tests and examples that want
+// to drive two session peers from one goroutine.
+func NewDuplex() (io.ReadWriteCloser, io.ReadWriteCloser) { return newPipe() }

@@ -1,0 +1,198 @@
+package session
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"protoobf/internal/frame"
+)
+
+// Transport is the epoch-tagged framed byte layer of a session: it moves
+// already-serialized payloads over rw, stamping each outgoing frame with
+// the current epoch and surfacing the epoch of each incoming frame.
+// Applications that manage their own protocol graphs (the protocol core
+// applications) use it directly; Conn builds the dialect-aware message
+// layer on top.
+//
+// Methods are safe for concurrent use: writes are serialized by one
+// writer lock, reads by one reader lock, and the epoch is read without
+// locking.
+type Transport struct {
+	epoch atomic.Uint64
+
+	// maxLead bounds how far ahead of the current epoch an incoming
+	// frame may pull the send epoch via the follow rule; frames beyond
+	// it are still delivered but do not move the epoch, so a forged
+	// epoch header cannot pin the (monotonic) epoch at a garbage value.
+	maxLead uint64
+
+	wmu  sync.Mutex // serializes frame writes, guards whdr
+	w    io.Writer
+	whdr [frame.EpochHeaderLen]byte
+
+	rmu  sync.Mutex // serializes frame reads, guards rbuf and rhdr
+	r    io.Reader
+	rbuf []byte
+	rhdr [frame.EpochHeaderLen]byte
+}
+
+// NewTransport wraps rw in a session transport starting at epoch 0.
+func NewTransport(rw io.ReadWriter) *Transport {
+	return &Transport{w: rw, r: rw, rbuf: frame.GetBuffer(), maxLead: DefaultMaxEpochLead}
+}
+
+// Release returns the transport's internal buffers to the shared pool.
+// Call it once the transport is done (after the connection closes); the
+// transport must not be used afterwards.
+func (t *Transport) Release() {
+	t.rmu.Lock()
+	frame.PutBuffer(t.rbuf)
+	t.rbuf = nil
+	t.rmu.Unlock()
+}
+
+// Epoch returns the current send epoch (lock-free).
+func (t *Transport) Epoch() uint64 { return t.epoch.Load() }
+
+// Advance raises the send epoch to epoch. Epochs are monotonic: a value
+// at or below the current epoch is ignored, so racing advances (local
+// rotation vs. following a peer) settle on the highest epoch seen.
+func (t *Transport) Advance(epoch uint64) {
+	for {
+		cur := t.epoch.Load()
+		if epoch <= cur || t.epoch.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// SendPayload writes one payload tagged with the current epoch.
+func (t *Transport) SendPayload(payload []byte) error {
+	return t.sendPayloadAt(t.epoch.Load(), payload)
+}
+
+// sendPayloadAt writes one payload tagged with an explicit epoch (used by
+// Conn, which binds the epoch to the message's graph, and by ServeLoop,
+// which answers with the request's epoch). The header is staged in the
+// transport's own scratch so the hot path does not allocate.
+func (t *Transport) sendPayloadAt(epoch uint64, payload []byte) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if err := frame.EncodeEpochHeader(t.whdr[:], epoch, len(payload)); err != nil {
+		return err
+	}
+	if _, err := t.w.Write(t.whdr[:]); err != nil {
+		return err
+	}
+	_, err := t.w.Write(payload)
+	return err
+}
+
+// recvFrame reads one frame under rmu into buf, via the transport's own
+// header scratch (no per-read allocation).
+func (t *Transport) recvFrame(buf []byte) ([]byte, uint64, error) {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	return t.recvFrameLocked(buf)
+}
+
+func (t *Transport) recvFrameLocked(buf []byte) ([]byte, uint64, error) {
+	if _, err := io.ReadFull(t.r, t.rhdr[:]); err != nil {
+		return buf, 0, err
+	}
+	n, epoch, err := frame.DecodeEpochHeader(t.rhdr[:])
+	if err != nil {
+		return buf, 0, err
+	}
+	out, err := frame.ReadBody(t.r, buf, n)
+	return out, epoch, err
+}
+
+// RecvPayload reads one frame, appending the payload to buf (which may be
+// nil or a recycled buffer) and returning the extended slice and the
+// frame's epoch. Receiving an epoch above the current send epoch — but
+// within DefaultMaxEpochLead of it — advances it, so a peer follows the
+// other side's rotation automatically; a frame naming a far-future epoch
+// is delivered without moving the epoch (the caller sees the raw epoch
+// and decides).
+func (t *Transport) RecvPayload(buf []byte) ([]byte, uint64, error) {
+	out, epoch, err := t.recvFrame(buf)
+	if err != nil {
+		return out, 0, err
+	}
+	t.follow(epoch)
+	return out, epoch, nil
+}
+
+// follow applies the bounded follow rule.
+func (t *Transport) follow(epoch uint64) {
+	if cur := t.epoch.Load(); epoch > cur && epoch-cur <= t.maxLead {
+		t.Advance(epoch)
+	}
+}
+
+// Roundtrip sends a request payload and returns the response payload and
+// its epoch. The returned slice is an internal buffer valid until the
+// next Roundtrip; callers keeping the bytes must copy. This is the client
+// side of a request/response core application.
+func (t *Transport) Roundtrip(req []byte) ([]byte, uint64, error) {
+	if err := t.SendPayload(req); err != nil {
+		return nil, 0, err
+	}
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	out, epoch, err := t.recvFrameLocked(t.rbuf[:0])
+	if err != nil {
+		return nil, 0, err
+	}
+	t.rbuf = out
+	t.follow(epoch)
+	return out, epoch, nil
+}
+
+// ServeLoop is the server side of a request/response core application:
+// it reads request payloads and answers each with handle's response,
+// tagged with the request's epoch, until the stream ends or handle fails.
+// The request slice passed to handle is reused across iterations.
+func (t *Transport) ServeLoop(handle func(req []byte) ([]byte, error)) error {
+	buf := frame.GetBuffer()
+	defer func() { frame.PutBuffer(buf) }() // buf rebinds as frames grow it
+	for {
+		req, epoch, err := t.RecvPayload(buf[:0])
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		buf = req
+		resp, err := handle(req)
+		if err != nil {
+			return fmt.Errorf("session: handle: %w", err)
+		}
+		if err := t.sendPayloadAt(epoch, resp); err != nil {
+			return err
+		}
+	}
+}
+
+// Serve accepts connections from ln until it is closed, running serve on
+// a fresh Transport per connection in its own goroutine. It factors the
+// accept loop the protocol core applications previously duplicated.
+func Serve(ln net.Listener, serve func(t *Transport)) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			t := NewTransport(conn)
+			defer t.Release()
+			serve(t)
+		}()
+	}
+}

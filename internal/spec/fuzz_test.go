@@ -1,0 +1,45 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSpecParse throws arbitrary source at the specification parser: it
+// must either return a graph that validates or an error — never panic.
+// The shipped testdata specifications seed the corpus so mutations start
+// from syntactically interesting input.
+func FuzzSpecParse(f *testing.F) {
+	dir := filepath.Join("..", "..", "testdata")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".spec" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add(`protocol p; root seq m end { uint a 2; }`)
+	f.Add(`protocol p; root seq m end { bytes b delim ";" min 1; }`)
+
+	f.Fuzz(func(t *testing.T, source string) {
+		g, err := Parse(source)
+		if err != nil {
+			return
+		}
+		if g == nil {
+			t.Fatal("Parse returned nil graph without error")
+		}
+		// A graph the parser accepts must be internally consistent.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph fails validation: %v\nsource:\n%s", err, source)
+		}
+	})
+}

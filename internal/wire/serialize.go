@@ -11,7 +11,6 @@
 package wire
 
 import (
-	"bytes"
 	"fmt"
 
 	"protoobf/internal/graph"
@@ -20,22 +19,28 @@ import (
 
 // Serialize renders the message to obfuscated wire bytes.
 func Serialize(m *msgtree.Message) ([]byte, error) {
+	return SerializeAppend(m, nil)
+}
+
+// SerializeAppend renders the message to obfuscated wire bytes appended
+// to buf (which may be nil or a recycled buffer) and returns the extended
+// slice. A steady-state send loop passing its previous buffer back in
+// does not allocate: ReadFromEnd regions are reversed in place rather
+// than staged through a scratch buffer.
+func SerializeAppend(m *msgtree.Message, buf []byte) ([]byte, error) {
 	if err := fill(m, m.Root); err != nil {
-		return nil, err
+		return buf, err
 	}
-	var buf bytes.Buffer
-	if err := emit(m.Root, &buf); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return emit(m.Root, buf)
 }
 
 // fill walks the instance tree and assigns every auto-filled reference
 // target: for a Length-bounded node D referencing R, R's value is the
 // content size of D; for a Tabular D, R is the item count. The pass also
-// checks RepSplit pair halves have matching item counts.
+// checks RepSplit pair halves have matching item counts. The dedup map is
+// allocated lazily so messages without references serialize without it.
 func fill(m *msgtree.Message, root *msgtree.Value) error {
-	filled := make(map[*msgtree.Value]uint64)
+	var filled map[*msgtree.Value]uint64
 	var walk func(v *msgtree.Value) error
 	walk = func(v *msgtree.Value) error {
 		n := v.Node
@@ -65,6 +70,9 @@ func fill(m *msgtree.Message, root *msgtree.Value) error {
 					return fmt.Errorf("serialize: reference %q filled with both %d and %d", ref, prev, val)
 				}
 			} else {
+				if filled == nil {
+					filled = make(map[*msgtree.Value]uint64)
+				}
 				filled[target] = val
 				if err := m.SetNodeValue(target, graph.UintVal(val)); err != nil {
 					return fmt.Errorf("serialize: fill %q: %w", ref, err)
@@ -135,50 +143,54 @@ func sizeOf(v *msgtree.Value) (int, error) {
 	}
 }
 
-// emit writes the subtree, applying ReadFromEnd byte reversal.
-func emit(v *msgtree.Value, out *bytes.Buffer) error {
+// emit appends the subtree's bytes to out. A ReadFromEnd node emits its
+// region normally and then reverses it in place, so no scratch buffer is
+// needed; nested reversals compose because each inner region is complete
+// (and already reversed) before the outer reversal runs.
+func emit(v *msgtree.Value, out []byte) ([]byte, error) {
 	if v.Node.Reversed {
-		var sub bytes.Buffer
-		if err := emitInner(v, &sub); err != nil {
-			return err
+		start := len(out)
+		out, err := emitInner(v, out)
+		if err != nil {
+			return out, err
 		}
-		b := sub.Bytes()
-		for i := len(b) - 1; i >= 0; i-- {
-			out.WriteByte(b[i])
+		for i, j := start, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
 		}
-		return nil
+		return out, nil
 	}
 	return emitInner(v, out)
 }
 
-func emitInner(v *msgtree.Value, out *bytes.Buffer) error {
+func emitInner(v *msgtree.Value, out []byte) ([]byte, error) {
 	n := v.Node
 	switch n.Kind {
 	case graph.Terminal:
 		if !v.IsSet() {
-			return fmt.Errorf("serialize: field %q not set", n.Name)
+			return out, fmt.Errorf("serialize: field %q not set", n.Name)
 		}
-		out.Write(v.Bytes)
+		out = append(out, v.Bytes...)
 		if n.Boundary.Kind == graph.Delimited {
-			out.Write(n.Boundary.Delim)
+			out = append(out, n.Boundary.Delim...)
 		}
-		return nil
+		return out, nil
 	case graph.Optional:
 		if !v.Present {
-			return nil
+			return out, nil
 		}
 		return emit(v.Kids[0], out)
 	case graph.Sequence, graph.Repetition, graph.Tabular:
+		var err error
 		for _, k := range v.Kids {
-			if err := emit(k, out); err != nil {
-				return err
+			if out, err = emit(k, out); err != nil {
+				return out, err
 			}
 		}
 		if n.Boundary.Kind == graph.Delimited {
-			out.Write(n.Boundary.Delim)
+			out = append(out, n.Boundary.Delim...)
 		}
-		return nil
+		return out, nil
 	default:
-		return fmt.Errorf("serialize: unknown node kind %v", n.Kind)
+		return out, fmt.Errorf("serialize: unknown node kind %v", n.Kind)
 	}
 }

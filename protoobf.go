@@ -32,9 +32,13 @@
 package protoobf
 
 import (
+	"io"
+	"net"
+
 	"protoobf/internal/core"
 	"protoobf/internal/graph"
 	"protoobf/internal/msgtree"
+	"protoobf/internal/session"
 	"protoobf/internal/transform"
 )
 
@@ -83,4 +87,52 @@ func TransformNames() []string {
 		out = append(out, t.Name())
 	}
 	return out
+}
+
+// Session is an obfuscated message session over a live byte stream: each
+// frame is tagged with its dialect epoch outside the obfuscated payload,
+// and either peer may rotate the dialect mid-session — the other follows
+// automatically. See internal/session.
+type Session = session.Conn
+
+// NewSession opens a session over rw speaking the epoch-keyed dialect
+// family of rot. Both peers must share the rotation's (spec, options).
+func NewSession(rw io.ReadWriter, rot *Rotation) (*Session, error) {
+	return session.NewConn(rw, rot)
+}
+
+// NewStaticSession opens a session over rw that speaks a single fixed
+// protocol in every epoch (session framing without dialect rotation).
+func NewStaticSession(rw io.ReadWriter, p *Protocol) (*Session, error) {
+	return session.NewConn(rw, session.Fixed(p.Graph))
+}
+
+// NewSessionPair connects two in-memory session peers, each compiled
+// independently from the same (spec, options) — exactly how deployed
+// peers agree on every epoch's dialect without coordination (§VIII).
+func NewSessionPair(source string, opts Options) (*Session, *Session, error) {
+	a, err := core.NewRotation(source, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := core.NewRotation(source, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return session.Pair(a, b)
+}
+
+// DialSession connects to addr over TCP and opens a session speaking
+// rot's dialect family.
+func DialSession(addr string, rot *Rotation) (*Session, net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := session.NewConn(conn, rot)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	return s, conn, nil
 }

@@ -194,3 +194,62 @@ root seq msg end {
 	fmt.Println(v)
 	// Output: 41
 }
+
+// TestSessionPairRotation drives the exported session API: two in-memory
+// peers exchange a message per epoch across three rotations, each frame
+// decoded with the dialect its epoch header names.
+func TestSessionPairRotation(t *testing.T) {
+	a, b, err := protoobf.NewSessionPair(ticketSpec, protoobf.Options{PerNode: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := uint64(0); epoch < 4; epoch++ {
+		m, err := a.NewMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := m.Scope()
+		if err := s.SetUint("version", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetUint("kind", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetString("user", "ada"); err != nil {
+			t.Fatal(err)
+		}
+		item, err := s.Add("seats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := item.SetUint("seat", 100+epoch); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		items, err := got.Scope().Items("seats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seat, err := items[0].GetUint("seat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seat != 100+epoch {
+			t.Fatalf("epoch %d: seat = %d, want %d", epoch, seat, 100+epoch)
+		}
+		if got := b.Epoch(); got != epoch {
+			t.Fatalf("receiver epoch = %d, want %d", got, epoch)
+		}
+		if epoch < 3 {
+			if _, err := a.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
