@@ -1,0 +1,219 @@
+// Command mdlinkcheck verifies the intra-repository links of the
+// project's markdown documentation: every relative link must point at
+// an existing file or directory, and every #anchor into a markdown file
+// must match a heading of the target. External links (http, https,
+// mailto) are ignored — CI must not depend on the network — and links
+// inside fenced code blocks are not links.
+//
+// Usage:
+//
+//	mdlinkcheck [root ...]     # default: .
+//
+// It exits nonzero listing every broken link, so the docs job fails
+// before documentation rot lands.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	roots := args
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		info, err := os.Stat(root)
+		if err != nil {
+			fmt.Fprintln(errw, "mdlinkcheck:", err)
+			return 2
+		}
+		if !info.IsDir() {
+			files = append(files, root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.EqualFold(filepath.Ext(path), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(errw, "mdlinkcheck:", err)
+			return 2
+		}
+	}
+
+	broken := 0
+	checked := 0
+	for _, file := range files {
+		links, err := extractLinks(file)
+		if err != nil {
+			fmt.Fprintln(errw, "mdlinkcheck:", err)
+			return 2
+		}
+		for _, l := range links {
+			checked++
+			if msg := checkLink(file, l); msg != "" {
+				fmt.Fprintf(errw, "%s:%d: %s\n", file, l.line, msg)
+				broken++
+			}
+		}
+	}
+	fmt.Fprintf(out, "mdlinkcheck: %d files, %d intra-repo links, %d broken\n",
+		len(files), checked, broken)
+	if broken > 0 {
+		return 1
+	}
+	return 0
+}
+
+// link is one markdown link occurrence.
+type link struct {
+	target string
+	line   int
+}
+
+// linkRe matches inline markdown links [text](target) and images; the
+// target stops at whitespace or the closing paren, which also drops
+// optional titles.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// extractLinks returns every link target of a markdown file with its
+// line number, skipping fenced code blocks.
+func extractLinks(path string) ([]link, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var links []link
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	inFence := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(text), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+			links = append(links, link{target: m[1], line: line})
+		}
+	}
+	return links, sc.Err()
+}
+
+// checkLink validates one link found in file; it returns a description
+// of the breakage or "" when the link is fine or out of scope.
+func checkLink(file string, l link) string {
+	t := l.target
+	if strings.Contains(t, "://") || strings.HasPrefix(t, "mailto:") {
+		return "" // external: not checked
+	}
+	path, anchor, _ := strings.Cut(t, "#")
+	target := file
+	if path != "" {
+		target = filepath.Join(filepath.Dir(file), filepath.FromSlash(path))
+		info, err := os.Stat(target)
+		if err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", t, target)
+		}
+		if anchor != "" && info.IsDir() {
+			return fmt.Sprintf("broken link %q: anchor into a directory", t)
+		}
+	}
+	if anchor == "" {
+		return ""
+	}
+	if !strings.EqualFold(filepath.Ext(target), ".md") {
+		return "" // anchors into non-markdown files are not checked
+	}
+	anchors, err := headingAnchors(target)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %v", t, err)
+	}
+	if !anchors[strings.ToLower(anchor)] {
+		return fmt.Sprintf("broken link %q: no heading for anchor #%s in %s", t, anchor, target)
+	}
+	return ""
+}
+
+// headingAnchors collects the GitHub-style anchor slugs of every
+// heading in a markdown file, with duplicate headings suffixed -1, -2,
+// ... as GitHub does.
+func headingAnchors(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	anchors := make(map[string]bool)
+	seen := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	inFence := false
+	for sc.Scan() {
+		text := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(text), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(text, "#") {
+			continue
+		}
+		title := strings.TrimLeft(text, "#")
+		if title == text || !strings.HasPrefix(title, " ") {
+			continue // not a heading (e.g. a #! line)
+		}
+		slug := slugify(strings.TrimSpace(title))
+		if n := seen[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		seen[slug]++
+	}
+	return anchors, sc.Err()
+}
+
+// slugify approximates GitHub's heading-to-anchor rule: lowercase,
+// spaces to hyphens, markdown emphasis stripped, punctuation dropped.
+func slugify(title string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			sb.WriteRune(r)
+		case r == ' ':
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}

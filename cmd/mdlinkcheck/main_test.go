@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCleanTree(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "README.md", `# Top
+See [the docs](docs/GUIDE.md), [a section](docs/GUIDE.md#two-words), and
+[the dir](docs/). External [site](https://example.org) is skipped.
+
+`+"```"+`
+[not a link](missing.md) inside a code fence
+`+"```"+`
+`)
+	write(t, dir, "docs/GUIDE.md", "# Guide\n\n## Two words\n\nBack to [top](../README.md#top).\n")
+	var out, errw bytes.Buffer
+	if code := run([]string{dir}, &out, &errw); code != 0 {
+		t.Fatalf("clean tree exits %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "0 broken") {
+		t.Errorf("summary: %q", out.String())
+	}
+}
+
+func TestBrokenLinksFail(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.md", "[gone](nope.md) and [bad anchor](b.md#missing)\n")
+	write(t, dir, "b.md", "# Only heading\n")
+	var out, errw bytes.Buffer
+	if code := run([]string{dir}, &out, &errw); code != 1 {
+		t.Fatalf("broken tree exits %d, want 1", code)
+	}
+	report := errw.String()
+	if !strings.Contains(report, "nope.md") || !strings.Contains(report, "#missing") {
+		t.Errorf("report misses breakages: %q", report)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Two words":               "two-words",
+		"Rotation control plane":  "rotation-control-plane",
+		"`code` and *emph*!":      "code-and-emph",
+		"Hyphen-ated_under score": "hyphen-ated_under-score",
+		"Numbers 123":             "numbers-123",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRepoDocs runs the checker over the repository itself, so the
+// tier-1 gate fails on documentation rot even before the CI docs job.
+func TestRepoDocs(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"../.."}, &out, &errw); code != 0 {
+		t.Fatalf("repository docs have broken links:\n%s", errw.String())
+	}
+}

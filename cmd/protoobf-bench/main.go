@@ -10,6 +10,7 @@
 //	protoobf-bench -protocol modbus -figure potency    # figure 7 data
 //	protoobf-bench -resilience                         # §VII-D
 //	protoobf-bench -ablation -protocol modbus          # per-transformation study
+//	protoobf-bench -session -epochs 64 -rekey-every 8  # scheduled-rotation session workload
 //	protoobf-bench -all                                # everything, default sizes
 package main
 
@@ -39,9 +40,28 @@ func run(args []string) error {
 	resilience := fs.Bool("resilience", false, "run the §VII-D resilience assessment")
 	calibrate := fs.Float64("calibrate", 0, "search the per-node level whose residual PRE score falls below this target (e.g. 0.2)")
 	ablation := fs.Bool("ablation", false, "run the per-transformation ablation study")
+	sessionWL := fs.Bool("session", false, "run the scheduled-rotation session workload")
+	epochs := fs.Int("epochs", 32, "scheduled rotations to cross in the session workload")
+	rekeyEvery := fs.Uint64("rekey-every", 0, "propose an in-band rekey every N epochs in the session workload (0 = never)")
+	window := fs.Int("window", 0, "dialect cache window for the session workload (0 = defaults)")
 	all := fs.Bool("all", false, "run every experiment for both protocols")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *sessionWL {
+		res, err := bench.RunSession(bench.SessionConfig{
+			Epochs:       *epochs,
+			MsgsPerEpoch: *msgs,
+			RekeyEvery:   *rekeyEvery,
+			Seed:         *seed,
+			Window:       *window,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
+		return nil
 	}
 
 	if *all {

@@ -25,6 +25,12 @@ func TestRunFigures(t *testing.T) {
 	}
 }
 
+func TestRunSessionWorkload(t *testing.T) {
+	if err := run([]string{"-session", "-epochs", "4", "-msgs", "4", "-rekey-every", "2", "-window", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Error("no action accepted")

@@ -1,11 +1,22 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"sync"
 
 	"protoobf/internal/graph"
+	"protoobf/internal/lru"
 )
+
+// DefaultVersionWindow bounds how many compiled protocol versions a
+// Rotation keeps. A session touches a handful of epochs around the
+// current one (current send epoch, stale epochs with frames in flight,
+// the rekey target); everything else recompiles deterministically on
+// demand, so the window trades a rare recompile for O(window) instead of
+// O(epochs) memory on long-lived rotations.
+const DefaultVersionWindow = 64
 
 // Rotation implements the deployment model sketched in the paper's
 // conclusion: "new obfuscated versions of the protocol can be easily
@@ -14,20 +25,35 @@ import (
 // reversed."
 //
 // Each epoch deterministically derives a fresh protocol version from
-// (spec, master seed, epoch), so that independently deployed peers agree
-// on the dialect of any epoch without coordination beyond a shared
-// epoch counter (e.g. derived from coarse wall-clock time).
+// (spec, seed family, epoch), so that independently deployed peers agree
+// on the dialect of any epoch without coordination beyond a shared epoch
+// counter — in deployment derived from coarse wall-clock time by
+// internal/session/sched.
+//
+// The seed family itself can change at run time: Rekey records that all
+// epochs from a given point onward derive from a fresh master seed, the
+// in-band rekey handshake of internal/session. Past epochs keep deriving
+// from the family that was active when they were current, so frames in
+// flight across a rekey still decode.
 type Rotation struct {
 	source string
 	opts   ObfuscationOptions
 
-	mu    sync.Mutex
-	cache map[uint64]*Protocol
+	mu     sync.Mutex
+	cache  *lru.Cache[uint64, *Protocol]
+	rekeys []rekeyPoint // ascending by from
+}
+
+// rekeyPoint switches the master seed for epochs >= from.
+type rekeyPoint struct {
+	from uint64
+	seed int64
 }
 
 // NewRotation validates the specification once and prepares the epoch
-// cache. opts.Seed acts as the master seed; opts.PerNode/Only/Exclude
-// apply to every version.
+// cache (bounded at DefaultVersionWindow; see Bound). opts.Seed acts as
+// the initial master seed; opts.PerNode/Only/Exclude apply to every
+// version.
 func NewRotation(source string, opts ObfuscationOptions) (*Rotation, error) {
 	// Compile epoch 0 eagerly so configuration errors surface here.
 	probe := opts
@@ -36,26 +62,48 @@ func NewRotation(source string, opts ObfuscationOptions) (*Rotation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rotation: %w", err)
 	}
-	r := &Rotation{source: source, opts: opts, cache: map[uint64]*Protocol{0: p}}
+	r := &Rotation{
+		source: source,
+		opts:   opts,
+		cache:  lru.New[uint64, *Protocol](DefaultVersionWindow, nil),
+	}
+	r.cache.Put(0, p)
 	return r, nil
 }
 
+// Bound re-bounds the compiled-version cache to at most window epochs,
+// evicting the least recently used versions immediately. A window <= 0
+// removes the bound.
+func (r *Rotation) Bound(window int) {
+	r.mu.Lock()
+	r.cache.SetCap(window)
+	r.mu.Unlock()
+}
+
+// CacheLen returns the number of compiled versions currently cached.
+func (r *Rotation) CacheLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cache.Len()
+}
+
 // Version returns the protocol of the given epoch, compiling it on first
-// use. Versions are cached; the same epoch always yields the same
-// transformed graph on every peer.
+// use (or again after eviction). The same epoch always yields the same
+// transformed graph on every peer that shares the rotation's history of
+// (spec, options, rekey points).
 func (r *Rotation) Version(epoch uint64) (*Protocol, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if p, ok := r.cache[epoch]; ok {
+	if p, ok := r.cache.Get(epoch); ok {
 		return p, nil
 	}
 	opts := r.opts
-	opts.Seed = deriveSeed(r.opts.Seed, epoch)
+	opts.Seed = deriveSeed(r.familySeed(epoch), epoch)
 	p, err := Compile(r.source, opts)
 	if err != nil {
 		return nil, fmt.Errorf("rotation epoch %d: %w", epoch, err)
 	}
-	r.cache[epoch] = p
+	r.cache.Put(epoch, p)
 	return p, nil
 }
 
@@ -68,6 +116,91 @@ func (r *Rotation) Graph(epoch uint64) (*graph.Graph, error) {
 		return nil, err
 	}
 	return p.Graph, nil
+}
+
+// Rekey switches the master seed for every epoch >= from, invalidating
+// any cached version at or past that point. Rekey points must not move
+// backwards: a from below the latest recorded point is rejected, while a
+// from equal to it replaces the point (how the session layer's
+// deterministic tie-break between crossed proposals settles). Epochs
+// before from keep deriving from the previously active family.
+func (r *Rotation) Rekey(from uint64, seed int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.rekeys); n > 0 && from <= r.rekeys[n-1].from {
+		if from < r.rekeys[n-1].from {
+			return fmt.Errorf("rotation: rekey from epoch %d predates rekey point %d", from, r.rekeys[n-1].from)
+		}
+		r.rekeys[n-1].seed = seed
+	} else {
+		r.rekeys = append(r.rekeys, rekeyPoint{from: from, seed: seed})
+	}
+	// Versions at or past the rekey point were compiled under the old
+	// family; drop them so the next use recompiles under the new one.
+	r.cache.DeleteIf(func(epoch uint64, _ *Protocol) bool { return epoch >= from }, nil)
+	return nil
+}
+
+// DropRekey removes the most recent rekey point if it matches (from,
+// seed) exactly: the session layer's rollback when a rekey was applied
+// locally but the handshake step that was supposed to commit it (the
+// dialect compile or the ack write) failed, so the peer never learned
+// of the switch. Cached versions at or past the dropped point are
+// invalidated back to the previous family.
+func (r *Rotation) DropRekey(from uint64, seed int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.rekeys)
+	if n == 0 || r.rekeys[n-1] != (rekeyPoint{from: from, seed: seed}) {
+		return fmt.Errorf("rotation: no rekey point (%d, %d) to drop", from, seed)
+	}
+	r.rekeys = r.rekeys[:n-1]
+	r.cache.DeleteIf(func(epoch uint64, _ *Protocol) bool { return epoch >= from }, nil)
+	return nil
+}
+
+// ControlPad derives the deterministic masking pad the session layer
+// XORs over in-band control payloads (the rekey handshake). The pad is
+// a SHA-256 stream keyed by the seed family active at the frame's epoch
+// under a fixed domain string, so the known plaintext at the front of a
+// control payload (the magic, a near-current epoch) cannot be inverted
+// into the keystream or the family seed the way a plain PRNG stream
+// could, and a forged frame fails the magic check after unmasking.
+//
+// This is obfuscation-grade protection, deliberately in the paper's
+// threat model: the family master seed is a 63-bit secret and the
+// construction is not a vetted AEAD. Deployments that need
+// cryptographic confidentiality of the rekeyed seed should run the
+// session over an encrypted channel; the masking then only keeps the
+// control plane indistinguishable from payload bytes.
+func (r *Rotation) ControlPad(epoch uint64, n int) []byte {
+	r.mu.Lock()
+	family := r.familySeed(epoch)
+	r.mu.Unlock()
+	var msg [24]byte
+	binary.BigEndian.PutUint64(msg[0:8], uint64(family))
+	binary.BigEndian.PutUint64(msg[8:16], epoch)
+	pad := make([]byte, 0, (n+sha256.Size-1)/sha256.Size*sha256.Size)
+	for ctr := uint64(0); len(pad) < n; ctr++ {
+		binary.BigEndian.PutUint64(msg[16:24], ctr)
+		h := sha256.New()
+		h.Write([]byte("protoobf control pad v1"))
+		h.Write(msg[:])
+		pad = h.Sum(pad)
+	}
+	return pad[:n]
+}
+
+// familySeed returns the master seed active at epoch. Callers hold r.mu.
+func (r *Rotation) familySeed(epoch uint64) int64 {
+	seed := r.opts.Seed
+	for _, p := range r.rekeys {
+		if p.from > epoch {
+			break
+		}
+		seed = p.seed
+	}
+	return seed
 }
 
 // deriveSeed mixes the master seed and the epoch with an

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const rotSpec = `
+protocol rot;
+root seq m end {
+    uint a 2;
+    uint b 4;
+    bytes payload fixed 8;
+}
+`
+
+func newTestRotation(t *testing.T, seed int64) *Rotation {
+	t.Helper()
+	r, err := NewRotation(rotSpec, ObfuscationOptions{PerNode: 2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRekeyDeterministicAcrossPeers(t *testing.T) {
+	a, b := newTestRotation(t, 11), newTestRotation(t, 11)
+	for _, r := range []*Rotation{a, b} {
+		if err := r.Rekey(5, 9999); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, epoch := range []uint64{0, 4, 5, 6, 100} {
+		pa, err := a.Version(epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := b.Version(epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pa.Seed != pb.Seed {
+			t.Errorf("epoch %d: peers diverged (%d vs %d)", epoch, pa.Seed, pb.Seed)
+		}
+		if pa.Trace() != pb.Trace() {
+			t.Errorf("epoch %d: transformation traces diverged", epoch)
+		}
+	}
+}
+
+func TestRekeyBoundary(t *testing.T) {
+	r := newTestRotation(t, 3)
+	before, err := r.Version(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeAt5, err := r.Version(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Rekey(5, 4242); err != nil {
+		t.Fatal(err)
+	}
+	// Epochs before the boundary keep their family...
+	after, err := r.Version(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Seed != before.Seed {
+		t.Errorf("pre-boundary epoch reseeded: %d -> %d", before.Seed, after.Seed)
+	}
+	// ...epochs at/past it switch (the cached old version is invalidated).
+	afterAt5, err := r.Version(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterAt5.Seed == beforeAt5.Seed {
+		t.Error("post-boundary epoch kept the old family")
+	}
+	// A rekey cannot move backwards past a recorded point.
+	if err := r.Rekey(4, 1); err == nil || !strings.Contains(err.Error(), "predates") {
+		t.Errorf("backwards rekey: %v", err)
+	}
+	// Re-proposing the same boundary replaces the seed (the session
+	// layer's tie-break).
+	if err := r.Rekey(5, 5555); err != nil {
+		t.Fatal(err)
+	}
+	replaced, err := r.Version(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replaced.Seed == afterAt5.Seed {
+		t.Error("same-boundary rekey did not replace the seed")
+	}
+}
+
+func TestDropRekey(t *testing.T) {
+	r := newTestRotation(t, 13)
+	base, err := r.Version(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Rekey(5, 321); err != nil {
+		t.Fatal(err)
+	}
+	switched, err := r.Version(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if switched.Seed == base.Seed {
+		t.Fatal("rekey did not switch the family")
+	}
+	// Mismatched drops are rejected; the matching drop restores the
+	// previous family exactly.
+	if err := r.DropRekey(5, 999); err == nil {
+		t.Error("mismatched DropRekey accepted")
+	}
+	if err := r.DropRekey(5, 321); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := r.Version(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Seed != base.Seed {
+		t.Errorf("dropped rekey left seed %d, want %d", restored.Seed, base.Seed)
+	}
+	if err := r.DropRekey(5, 321); err == nil {
+		t.Error("double DropRekey accepted")
+	}
+}
+
+func TestRotationCacheBounded(t *testing.T) {
+	r := newTestRotation(t, 7)
+	r.Bound(4)
+	for epoch := uint64(0); epoch < 100; epoch++ {
+		if _, err := r.Version(epoch); err != nil {
+			t.Fatal(err)
+		}
+		if n := r.CacheLen(); n > 4 {
+			t.Fatalf("epoch %d: cache holds %d versions, bound 4", epoch, n)
+		}
+	}
+	// Evicted epochs recompile to the same version.
+	p0a, err := r.Version(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := newTestRotation(t, 7)
+	p0b, err := fresh.Version(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0a.Seed != p0b.Seed || p0a.Trace() != p0b.Trace() {
+		t.Error("recompiled evicted epoch differs from the original compile")
+	}
+}
+
+func TestControlPad(t *testing.T) {
+	a, b := newTestRotation(t, 19), newTestRotation(t, 19)
+	// Shared-history peers derive identical pads.
+	if !bytes.Equal(a.ControlPad(3, 20), b.ControlPad(3, 20)) {
+		t.Error("same-history pads differ")
+	}
+	// Pads vary by epoch and by family.
+	if bytes.Equal(a.ControlPad(3, 20), a.ControlPad(4, 20)) {
+		t.Error("pad does not vary with epoch")
+	}
+	other := newTestRotation(t, 20)
+	if bytes.Equal(a.ControlPad(3, 20), other.ControlPad(3, 20)) {
+		t.Error("pad does not vary with master seed")
+	}
+	// A rekey changes the pad at and past the boundary only.
+	before3, before9 := a.ControlPad(3, 20), a.ControlPad(9, 20)
+	if err := a.Rekey(5, 777); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.ControlPad(3, 20), before3) {
+		t.Error("rekey changed a pre-boundary pad")
+	}
+	if bytes.Equal(a.ControlPad(9, 20), before9) {
+		t.Error("rekey left a post-boundary pad unchanged")
+	}
+}

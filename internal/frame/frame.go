@@ -8,13 +8,21 @@
 // Two frame flavors share the length prefix:
 //
 //	plain frame:  [4-byte length][payload]
-//	epoch frame:  [4-byte length][8-byte epoch][payload]
+//	epoch frame:  [4-byte kind|length][8-byte epoch][payload]
 //
 // The epoch frame carries the dialect epoch of the session layer
 // (internal/session) outside the obfuscated payload, mirroring the
 // transport/format split of the plain frame: the epoch selects which
 // protocol version decodes the payload, so it cannot itself live inside
 // the version-dependent bytes.
+//
+// Payloads are bounded by MaxFrame (1 MiB), so the top byte of the
+// 4-byte length word is always zero for data frames. The session layer
+// claims that byte as the frame kind: kind 0 (KindData) is an ordinary
+// message frame — byte-identical to the pre-kind wire format — and
+// nonzero kinds are reserved control frames (the in-band rekey
+// handshake). A decoder that predates the kind byte rejects control
+// frames as oversized rather than misparsing them.
 //
 // The *Append variants and the package-level buffer pool let steady-state
 // readers avoid a per-message allocation: read into a pooled or reused
@@ -31,9 +39,24 @@ import (
 // MaxFrame bounds a single message on the wire.
 const MaxFrame = 1 << 20
 
-// EpochHeaderLen is the size of the epoch frame preamble: 4-byte length
-// plus 8-byte epoch.
+// EpochHeaderLen is the size of the epoch frame preamble: 4-byte
+// kind|length word plus 8-byte epoch.
 const EpochHeaderLen = 12
+
+// Frame kinds, carried in the top byte of the length word of an epoch
+// frame. Data frames are byte-identical to the kindless format; the
+// remaining values are the session control plane.
+const (
+	// KindData is an ordinary obfuscated message frame.
+	KindData = 0x00
+	// KindRekeyPropose proposes switching the dialect family to a fresh
+	// obfuscation seed from a given epoch onward. The payload is a masked
+	// (epoch, seed) pair; see internal/session.
+	KindRekeyPropose = 0x01
+	// KindRekeyAck accepts a proposal by echoing its masked (epoch, seed)
+	// pair. Only after the ack does either peer send under the new family.
+	KindRekeyAck = 0x02
+)
 
 // bufPool recycles payload buffers between reads and serializations. It
 // is shared by this package and internal/session so the whole transport
@@ -96,27 +119,49 @@ func ReadAppend(r io.Reader, buf []byte) ([]byte, error) {
 	return ReadBody(r, buf, int(n))
 }
 
-// EncodeEpochHeader fills hdr (EpochHeaderLen bytes) with the epoch
-// frame preamble. Callers owning a long-lived header scratch (e.g. a
-// session transport) avoid the stack-to-heap escape a local array would
-// pay when handed to an io.Writer.
-func EncodeEpochHeader(hdr []byte, epoch uint64, payloadLen int) error {
+// EncodeHeader fills hdr (EpochHeaderLen bytes) with an epoch frame
+// preamble carrying an explicit frame kind. Callers owning a long-lived
+// header scratch (e.g. a session transport) avoid the stack-to-heap
+// escape a local array would pay when handed to an io.Writer.
+func EncodeHeader(hdr []byte, kind byte, epoch uint64, payloadLen int) error {
 	if payloadLen > MaxFrame {
 		return fmt.Errorf("frame: payload of %d bytes exceeds limit %d", payloadLen, MaxFrame)
 	}
-	binary.BigEndian.PutUint32(hdr[:4], uint32(payloadLen))
+	binary.BigEndian.PutUint32(hdr[:4], uint32(kind)<<24|uint32(payloadLen))
 	binary.BigEndian.PutUint64(hdr[4:EpochHeaderLen], epoch)
 	return nil
 }
 
-// DecodeEpochHeader parses an epoch frame preamble previously read from
-// the stream.
-func DecodeEpochHeader(hdr []byte) (payloadLen int, epoch uint64, err error) {
-	n := binary.BigEndian.Uint32(hdr[:4])
+// DecodeHeader parses an epoch frame preamble previously read from the
+// stream, splitting the kind byte off the length word.
+func DecodeHeader(hdr []byte) (kind byte, payloadLen int, epoch uint64, err error) {
+	word := binary.BigEndian.Uint32(hdr[:4])
+	kind = byte(word >> 24)
+	n := word & 0x00FFFFFF
 	if n > MaxFrame {
-		return 0, 0, fmt.Errorf("frame: length %d exceeds limit %d", n, MaxFrame)
+		return 0, 0, 0, fmt.Errorf("frame: length %d exceeds limit %d", n, MaxFrame)
 	}
-	return int(n), binary.BigEndian.Uint64(hdr[4:EpochHeaderLen]), nil
+	return kind, int(n), binary.BigEndian.Uint64(hdr[4:EpochHeaderLen]), nil
+}
+
+// EncodeEpochHeader fills hdr with a data-frame preamble (kind
+// KindData); the wire bytes are identical to the pre-kind format.
+func EncodeEpochHeader(hdr []byte, epoch uint64, payloadLen int) error {
+	return EncodeHeader(hdr, KindData, epoch, payloadLen)
+}
+
+// DecodeEpochHeader parses a data-frame preamble. A control frame (any
+// nonzero kind) is an error here: callers that want the control plane
+// decode with DecodeHeader.
+func DecodeEpochHeader(hdr []byte) (payloadLen int, epoch uint64, err error) {
+	kind, n, epoch, err := DecodeHeader(hdr)
+	if err != nil {
+		return 0, 0, err
+	}
+	if kind != KindData {
+		return 0, 0, fmt.Errorf("frame: unexpected control frame kind %#02x", kind)
+	}
+	return n, epoch, nil
 }
 
 // WriteEpoch writes one epoch-tagged frame. The length prefix counts the

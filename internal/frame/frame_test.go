@@ -67,6 +67,55 @@ func TestTruncated(t *testing.T) {
 	}
 }
 
+func TestKindHeaderRoundTrip(t *testing.T) {
+	var hdr [EpochHeaderLen]byte
+	for _, kind := range []byte{KindData, KindRekeyPropose, KindRekeyAck, 0x7F} {
+		for _, epoch := range []uint64{0, 1, 1 << 40} {
+			if err := EncodeHeader(hdr[:], kind, epoch, 17); err != nil {
+				t.Fatal(err)
+			}
+			k, n, e, err := DecodeHeader(hdr[:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k != kind || n != 17 || e != epoch {
+				t.Errorf("round trip (kind=%#02x epoch=%d) = (%#02x, %d, %d)", kind, epoch, k, n, e)
+			}
+		}
+	}
+}
+
+func TestDataFrameWireUnchangedByKindByte(t *testing.T) {
+	// A data frame must stay byte-identical to the pre-kind format: the
+	// kind byte reuses the always-zero top byte of the length word.
+	var hdr [EpochHeaderLen]byte
+	if err := EncodeEpochHeader(hdr[:], 7, 300); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 0, 0x01, 0x2C, 0, 0, 0, 0, 0, 0, 0, 7}
+	if !bytes.Equal(hdr[:], want) {
+		t.Errorf("data header = % x, want % x", hdr[:], want)
+	}
+}
+
+func TestDecodeEpochHeaderRejectsControlFrames(t *testing.T) {
+	var hdr [EpochHeaderLen]byte
+	if err := EncodeHeader(hdr[:], KindRekeyPropose, 3, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeEpochHeader(hdr[:]); err == nil || !strings.Contains(err.Error(), "control frame") {
+		t.Errorf("control frame decoded as data: %v", err)
+	}
+}
+
+func TestDecodeHeaderOversized(t *testing.T) {
+	// The length bound applies to the low 24 bits regardless of kind.
+	hdr := []byte{KindRekeyAck, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0}
+	if _, _, _, err := DecodeHeader(hdr); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized control frame: %v", err)
+	}
+}
+
 func TestMultipleFramesOnOneStream(t *testing.T) {
 	var buf bytes.Buffer
 	for i := 0; i < 3; i++ {

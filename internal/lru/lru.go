@@ -1,0 +1,131 @@
+// Package lru is a small bounded map with least-recently-used eviction,
+// sized for the dialect caches of the rotation control plane: a session
+// touches a handful of epochs around the current one (the current send
+// epoch, a few stale epochs with frames still in flight, the rekey
+// target), so the working set is tiny while the epoch counter itself
+// grows without bound. Bounding the cache at a window keeps a long-lived
+// session at O(window) memory instead of O(epochs).
+//
+// The implementation is deliberately simple: entries carry a use tick
+// and eviction scans for the minimum. For the window sizes the control
+// plane uses (tens of entries) the scan is cheaper than maintaining an
+// intrusive list, and the zero-allocation Get path is what the session
+// hot path actually exercises.
+//
+// Cache is not safe for concurrent use; callers hold their own locks
+// (core.Rotation and session.Conn both already serialize cache access).
+package lru
+
+// Cache maps K to V, keeping at most Cap entries.
+type Cache[K comparable, V any] struct {
+	cap     int
+	tick    uint64
+	entries map[K]*entry[V]
+	onEvict func(K, V)
+}
+
+type entry[V any] struct {
+	v    V
+	used uint64
+}
+
+// New returns a cache bounded at capacity entries. A capacity <= 0 means
+// unbounded. onEvict, if non-nil, runs for every entry removed by the
+// bound (not for explicit Delete calls), letting callers drop derived
+// state alongside.
+func New[K comparable, V any](capacity int, onEvict func(K, V)) *Cache[K, V] {
+	return &Cache[K, V]{
+		cap:     capacity,
+		entries: make(map[K]*entry[V]),
+		onEvict: onEvict,
+	}
+}
+
+// Get returns the value under k, marking it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	e, ok := c.entries[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.tick++
+	e.used = c.tick
+	return e.v, true
+}
+
+// Put inserts or replaces the value under k as most recently used,
+// evicting the least recently used entries while the bound is exceeded.
+func (c *Cache[K, V]) Put(k K, v V) {
+	c.tick++
+	if e, ok := c.entries[k]; ok {
+		e.v = v
+		e.used = c.tick
+		return
+	}
+	c.entries[k] = &entry[V]{v: v, used: c.tick}
+	c.shrink()
+}
+
+// Delete removes k without invoking the eviction callback.
+func (c *Cache[K, V]) Delete(k K) { delete(c.entries, k) }
+
+// DeleteIf removes every entry for which fn returns true, calling
+// onDelete (if non-nil) for each removed entry. The eviction callback
+// does not run — explicit invalidation (a rekey boundary) is not an
+// LRU eviction.
+func (c *Cache[K, V]) DeleteIf(fn func(K, V) bool, onDelete func(K, V)) {
+	for k, e := range c.entries {
+		if fn(k, e.v) {
+			delete(c.entries, k)
+			if onDelete != nil {
+				onDelete(k, e.v)
+			}
+		}
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int { return len(c.entries) }
+
+// Cap returns the configured bound (<= 0 means unbounded).
+func (c *Cache[K, V]) Cap() int { return c.cap }
+
+// SetCap re-bounds the cache, evicting down to the new capacity
+// immediately. A capacity <= 0 removes the bound.
+func (c *Cache[K, V]) SetCap(capacity int) {
+	c.cap = capacity
+	c.shrink()
+}
+
+// Range calls fn for every cached entry in unspecified order, stopping
+// early when fn returns false. It does not touch recency.
+func (c *Cache[K, V]) Range(fn func(K, V) bool) {
+	for k, e := range c.entries {
+		if !fn(k, e.v) {
+			return
+		}
+	}
+}
+
+func (c *Cache[K, V]) shrink() {
+	if c.cap <= 0 {
+		return
+	}
+	for len(c.entries) > c.cap {
+		var (
+			lruKey K
+			lruUse uint64
+			found  bool
+		)
+		for k, e := range c.entries {
+			if !found || e.used < lruUse {
+				lruKey, lruUse, found = k, e.used, true
+			}
+		}
+		e := c.entries[lruKey]
+		delete(c.entries, lruKey)
+		if c.onEvict != nil {
+			c.onEvict(lruKey, e.v)
+		}
+	}
+}

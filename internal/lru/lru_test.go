@@ -1,0 +1,112 @@
+package lru
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBoundAndRecency(t *testing.T) {
+	var evicted []int
+	c := New[int, string](3, func(k int, _ string) { evicted = append(evicted, k) })
+	for i := 1; i <= 3; i++ {
+		c.Put(i, fmt.Sprint(i))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	// Touch 1 so 2 becomes the LRU entry.
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("entry 1 missing")
+	}
+	c.Put(4, "4")
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted %v, want [2]", evicted)
+	}
+	for _, want := range []int{1, 3, 4} {
+		if _, ok := c.Get(want); !ok {
+			t.Errorf("entry %d evicted, want kept", want)
+		}
+	}
+}
+
+func TestReplaceDoesNotGrow(t *testing.T) {
+	c := New[int, int](2, nil)
+	c.Put(1, 10)
+	c.Put(1, 11)
+	c.Put(2, 20)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if v, _ := c.Get(1); v != 11 {
+		t.Fatalf("Get(1) = %d, want 11", v)
+	}
+}
+
+func TestUnboundedAndRebound(t *testing.T) {
+	var evicted int
+	c := New[int, int](0, func(int, int) { evicted++ })
+	for i := 0; i < 100; i++ {
+		c.Put(i, i)
+	}
+	if c.Len() != 100 || evicted != 0 {
+		t.Fatalf("unbounded cache: len=%d evicted=%d", c.Len(), evicted)
+	}
+	c.SetCap(10)
+	if c.Len() != 10 || evicted != 90 {
+		t.Fatalf("after SetCap(10): len=%d evicted=%d", c.Len(), evicted)
+	}
+	// The survivors are the 10 most recently inserted.
+	for i := 90; i < 100; i++ {
+		if _, ok := c.Get(i); !ok {
+			t.Errorf("entry %d missing after rebound", i)
+		}
+	}
+}
+
+func TestDeleteIf(t *testing.T) {
+	var evicted, deleted []int
+	c := New[int, int](10, func(k, _ int) { evicted = append(evicted, k) })
+	for i := 0; i < 6; i++ {
+		c.Put(i, i*10)
+	}
+	c.DeleteIf(func(k, v int) bool { return k >= 3 },
+		func(k, v int) { deleted = append(deleted, v) })
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if len(deleted) != 3 {
+		t.Fatalf("onDelete ran %d times, want 3", len(deleted))
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("eviction callback ran on explicit DeleteIf: %v", evicted)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := c.Get(i); !ok {
+			t.Errorf("entry %d removed, want kept", i)
+		}
+	}
+}
+
+func TestDeleteSkipsCallback(t *testing.T) {
+	var evicted int
+	c := New[int, int](4, func(int, int) { evicted++ })
+	c.Put(1, 1)
+	c.Delete(1)
+	if c.Len() != 0 || evicted != 0 {
+		t.Fatalf("after Delete: len=%d evicted=%d", c.Len(), evicted)
+	}
+}
+
+func TestSoakStaysBounded(t *testing.T) {
+	const window = 8
+	c := New[uint64, uint64](window, nil)
+	for e := uint64(0); e < 10000; e++ {
+		c.Put(e, e)
+		if c.Len() > window {
+			t.Fatalf("epoch %d: len = %d exceeds window %d", e, c.Len(), window)
+		}
+	}
+	if c.Len() != window {
+		t.Fatalf("final len = %d, want %d", c.Len(), window)
+	}
+}

@@ -1,14 +1,20 @@
 package session
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"protoobf/internal/frame"
 	"protoobf/internal/graph"
+	"protoobf/internal/lru"
 	"protoobf/internal/msgtree"
 	"protoobf/internal/rng"
+	"protoobf/internal/session/sched"
 	"protoobf/internal/wire"
 )
 
@@ -20,6 +26,23 @@ import (
 // import session).
 type Versioner interface {
 	Graph(epoch uint64) (*graph.Graph, error)
+}
+
+// Rekeyer is the optional Versioner extension behind the in-band rekey
+// handshake: switching the dialect family to a fresh master seed for
+// every epoch >= from. core.Rotation implements it; Fixed does not, so
+// static sessions refuse to rekey.
+type Rekeyer interface {
+	Rekey(from uint64, seed int64) error
+}
+
+// Padder is the optional Versioner extension that masks control-frame
+// payloads: a deterministic pad both peers derive from their shared
+// secret (the spec/seed family), applied by XOR. Without it control
+// payloads travel unmasked, which is only acceptable when the byte
+// stream itself is protected.
+type Padder interface {
+	ControlPad(epoch uint64, n int) []byte
 }
 
 // Fixed returns a Versioner that serves the same dialect for every
@@ -36,29 +59,81 @@ func (f fixed) Graph(uint64) (*graph.Graph, error) { return f.g, nil }
 // and the version cache is per-epoch, so without a bound a forged epoch
 // header would let a peer force arbitrary compilation work (and cache
 // growth) with a single garbage frame. Cooperating peers rotate one
-// epoch at a time, so any small bound is generous.
+// epoch at a time — and wall-clock scheduled peers advance their own
+// epoch locally before checking the bound — so any small bound is
+// generous.
 const DefaultMaxEpochLead = 64
+
+// DefaultCacheWindow bounds how many dialect epochs a Conn keeps
+// compiled. A session touches the current epoch, a few stale epochs with
+// frames still in flight, and the rekey target; evicted epochs recompile
+// deterministically on demand, so the window keeps long-lived sessions
+// at O(window) memory however many epochs they cross.
+const DefaultCacheWindow = 16
+
+// Options configures the rotation control plane of a Conn. The zero
+// value gives a manually rotated session with default bounds — the
+// pre-control-plane behavior.
+type Options struct {
+	// Schedule, when non-nil, derives the send epoch from coarse
+	// wall-clock time: the session adopts the schedule's epoch on every
+	// NewMessage/Recv (and at open), so two peers sharing a schedule
+	// converge on the same dialect with no coordination, even after a
+	// partition. Nil means epochs move only via Advance/Rotate or by
+	// following the peer.
+	Schedule *sched.Scheduler
+
+	// RekeyEvery, when nonzero, proposes an in-band rekey (fresh master
+	// seed for the dialect family) every RekeyEvery epochs. Either peer
+	// may propose; crossed proposals settle by a deterministic
+	// tie-break. Requires a Versioner implementing Rekeyer, and the
+	// connection must own that Versioner exclusively — a rekey mutates
+	// it, which would desynchronize other connections sharing it.
+	RekeyEvery uint64
+
+	// CacheWindow bounds the per-connection dialect cache: 0 means
+	// DefaultCacheWindow, negative means unbounded. Messages must be
+	// sent within CacheWindow epochs of composition or Send rejects
+	// them as belonging to an evicted dialect.
+	CacheWindow int
+
+	// MaxEpochLead overrides DefaultMaxEpochLead when nonzero.
+	MaxEpochLead uint64
+
+	// SeedSource supplies fresh master seeds for automatic rekeying.
+	// Nil draws from crypto/rand; tests inject a deterministic source.
+	SeedSource func() int64
+}
 
 // Conn is an obfuscated message session over a byte stream: Send
 // serializes a message with the dialect of the epoch it was composed for,
 // Recv decodes each frame with the protocol version named by the frame's
-// epoch header, and either peer may advance the epoch mid-session with
-// Advance/Rotate — the other follows automatically on its next Recv.
+// epoch header, and the epoch advances mid-session — by wall-clock
+// schedule, by explicit Advance/Rotate, or by following the peer.
 //
-// Conn is safe for concurrent Send, Recv, NewMessage and Advance calls.
+// Conn is safe for concurrent Send, Recv, NewMessage, Advance and Rekey
+// calls.
 type Conn struct {
 	t        *Transport
 	versions Versioner
 
 	// MaxEpochLead is the highest accepted distance between an incoming
 	// frame's epoch and the current epoch (default DefaultMaxEpochLead).
-	// Raise it only for peers that may legitimately skip many epochs at
-	// once (e.g. wall-clock-derived epochs after a long partition).
+	// Scheduled sessions measure the distance after adopting their own
+	// schedule epoch, so a long partition does not trip the bound.
 	MaxEpochLead uint64
 
-	mu      sync.Mutex // guards byGraph and mrng
-	byGraph map[*graph.Graph]uint64
-	mrng    *rng.R
+	schedule   *sched.Scheduler
+	rekeyEvery uint64
+	seedSource func() int64
+
+	mu            sync.Mutex // guards dialects, byGraph, mrng and rekey state
+	dialects      *lru.Cache[uint64, *graph.Graph]
+	byGraph       map[*graph.Graph]uint64
+	mrng          *rng.R
+	pending       *rekeyProposal
+	abandoned     *rekeyProposal // unacked proposal the schedule outran; honored if its ack arrives late
+	lastRekeyFrom uint64
 
 	smu  sync.Mutex // serializes Send's buffer reuse
 	wbuf []byte
@@ -67,20 +142,73 @@ type Conn struct {
 	rbuf []byte
 }
 
-// NewConn opens a session over rw. The epoch-0 dialect is compiled (or
+// rekeyProposal is an in-flight rekey handshake: we proposed switching
+// to seed from epoch from onward and await the peer's ack.
+type rekeyProposal struct {
+	from uint64
+	seed int64
+}
+
+// rekeyAbandonLead is how many epochs of schedule progress past an
+// unacked proposal's boundary the proposer tolerates before abandoning
+// it: holding the epoch below the boundary forever would let a peer
+// that stops reading (or a raw Transport peer, which discards control
+// frames) freeze dialect rotation permanently. An abandoned proposal is
+// still honored if its ack arrives late (the acker switched family when
+// it acked), so the two sides reconverge.
+const rekeyAbandonLead = 8
+
+// NewConn opens a session over rw with default options (manual
+// rotation, default cache window). The epoch-0 dialect is compiled (or
 // fetched from the Versioner's cache) eagerly so configuration errors
 // surface here rather than on the first message.
 func NewConn(rw io.ReadWriter, versions Versioner) (*Conn, error) {
+	return NewConnOpts(rw, versions, Options{})
+}
+
+// NewConnOpts opens a session over rw with an explicit control-plane
+// configuration. With a Schedule, the session adopts the schedule's
+// current wall-clock epoch before returning, so its first frames already
+// speak the fleet-wide dialect.
+func NewConnOpts(rw io.ReadWriter, versions Versioner, opts Options) (*Conn, error) {
+	window := opts.CacheWindow
+	if window == 0 {
+		window = DefaultCacheWindow
+	} else if window < 0 {
+		window = 0 // lru: unbounded
+	}
+	lead := opts.MaxEpochLead
+	if lead == 0 {
+		lead = DefaultMaxEpochLead
+	}
+	seedSource := opts.SeedSource
+	if seedSource == nil {
+		seedSource = randomSeed
+	}
 	c := &Conn{
 		t:            NewTransport(rw),
 		versions:     versions,
-		MaxEpochLead: DefaultMaxEpochLead,
+		MaxEpochLead: lead,
+		schedule:     opts.Schedule,
+		rekeyEvery:   opts.RekeyEvery,
+		seedSource:   seedSource,
 		byGraph:      make(map[*graph.Graph]uint64),
 		mrng:         rng.New(0x5e5510),
 		wbuf:         frame.GetBuffer(),
 		rbuf:         frame.GetBuffer(),
 	}
+	c.t.maxLead = lead
+	// The eviction hook keeps the reverse index in step with the window;
+	// it runs under c.mu (all cache mutation does).
+	c.dialects = lru.New[uint64, *graph.Graph](window, func(epoch uint64, g *graph.Graph) {
+		if c.byGraph[g] == epoch {
+			delete(c.byGraph, g)
+		}
+	})
 	if _, err := c.dialect(0); err != nil {
+		return nil, err
+	}
+	if err := c.syncSchedule(); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -109,24 +237,88 @@ func (c *Conn) Release() {
 // Epoch returns the current send epoch (lock-free).
 func (c *Conn) Epoch() uint64 { return c.t.Epoch() }
 
-// dialect fetches the graph of epoch and records it so Send can recover
-// the epoch a message was composed for.
+// dialect fetches the graph of epoch through the bounded cache and
+// records it so Send can recover the epoch a message was composed for.
+// Compilation happens outside c.mu: it costs real CPU and the Versioner
+// (core.Rotation) serializes concurrent compiles itself.
 func (c *Conn) dialect(epoch uint64) (*graph.Graph, error) {
+	c.mu.Lock()
+	if g, ok := c.dialects.Get(epoch); ok {
+		c.mu.Unlock()
+		return g, nil
+	}
+	c.mu.Unlock()
 	g, err := c.versions.Graph(epoch)
 	if err != nil {
 		return nil, fmt.Errorf("session: epoch %d: %w", epoch, err)
 	}
 	c.mu.Lock()
+	c.dialects.Put(epoch, g)
 	c.byGraph[g] = epoch
 	c.mu.Unlock()
 	return g, nil
 }
 
-// NewMessage returns an empty message for the current epoch's dialect.
-// The message stays bound to that dialect: Send tags it with the epoch it
-// was composed for even if the session rotates in between, so an epoch
-// bump concurrent with message construction is harmless.
+// horizon returns the epoch to measure frame plausibility against: the
+// send epoch, or the schedule's current epoch when that is ahead. A
+// receiver that has been blocked in Recv across many intervals measures
+// incoming frames against wall-clock time rather than its stale send
+// epoch, so an honest peer's first post-partition frame is never
+// mistaken for a forged far-future epoch.
+func (c *Conn) horizon() uint64 {
+	cur := c.Epoch()
+	if c.schedule != nil {
+		if se := c.schedule.Epoch(); se > cur {
+			cur = se
+		}
+	}
+	return cur
+}
+
+// syncSchedule adopts the schedule's current epoch as the send epoch —
+// except across a pending rekey boundary, which is only crossed once the
+// peer acks (neither side sends under the new dialect before the
+// handshake completes). It then proposes an automatic rekey when one is
+// due. No-op without a schedule.
+func (c *Conn) syncSchedule() error {
+	if c.schedule == nil {
+		return nil
+	}
+	if target := c.schedule.Epoch(); target > c.Epoch() {
+		// Compile outside c.mu (it costs real CPU); the gate check and
+		// the epoch bump share one c.mu section with rekey's proposal
+		// registration, so a proposal cannot slip in between the check
+		// and the advance. If the gate lowers the target, that epoch was
+		// current moments ago or compiles lazily on first use.
+		if _, err := c.dialect(target); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		if p := c.pending; p != nil && target >= p.from {
+			if target >= p.from+rekeyAbandonLead {
+				// The peer is not acking (not reading, or a raw
+				// Transport discarding control frames). Stop gating so
+				// rotation continues; honor the ack if it ever arrives.
+				c.abandoned, c.pending = p, nil
+			} else {
+				target = p.from - 1
+			}
+		}
+		c.t.Advance(target)
+		c.mu.Unlock()
+	}
+	return c.maybeAutoRekey()
+}
+
+// NewMessage returns an empty message for the current epoch's dialect
+// (scheduled sessions first adopt the schedule's epoch). The message
+// stays bound to that dialect: Send tags it with the epoch it was
+// composed for even if the session rotates in between, so an epoch bump
+// concurrent with message construction is harmless.
 func (c *Conn) NewMessage() (*msgtree.Message, error) {
+	if err := c.syncSchedule(); err != nil {
+		return nil, err
+	}
 	g, err := c.dialect(c.Epoch())
 	if err != nil {
 		return nil, err
@@ -139,13 +331,15 @@ func (c *Conn) NewMessage() (*msgtree.Message, error) {
 
 // Send serializes m and writes it framed under the epoch whose dialect
 // composed it. Steady-state sends reuse the connection's serialization
-// buffer and do not allocate.
+// buffer and do not allocate. A message composed more than CacheWindow
+// epochs ago may have had its dialect evicted, in which case Send
+// rejects it.
 func (c *Conn) Send(m *msgtree.Message) error {
 	c.mu.Lock()
 	epoch, ok := c.byGraph[m.G]
 	c.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("session: message graph %q does not belong to this session", m.G.ProtocolName)
+		return fmt.Errorf("session: message graph %q does not belong to this session (or its epoch left the cache window)", m.G.ProtocolName)
 	}
 	c.smu.Lock()
 	defer c.smu.Unlock()
@@ -157,41 +351,70 @@ func (c *Conn) Send(m *msgtree.Message) error {
 	return c.t.sendPayloadAt(epoch, out)
 }
 
-// Recv reads one frame and decodes it with the dialect of the frame's
-// epoch. Receiving an epoch above the current send epoch advances it
-// (the follow rule), so one peer's Rotate pulls the other along — but
-// only after the payload decodes, and only within MaxEpochLead of the
-// current epoch: a malformed or forged frame can neither move the
-// session's epoch nor force compilation of arbitrary dialects. Frames
-// from older epochs still decode — their dialects stay cached — which
-// tolerates messages in flight across a rotation.
+// Recv reads frames until one data frame decodes, handling control
+// frames (the rekey handshake) along the way. The data frame is decoded
+// with the dialect of the frame's epoch. Receiving an epoch above the
+// current send epoch advances it (the follow rule), so one peer's
+// rotation pulls the other along — but only after the payload decodes,
+// and only within MaxEpochLead of the current epoch: a malformed or
+// forged frame can neither move the session's epoch nor force
+// compilation of arbitrary dialects. Scheduled sessions adopt their own
+// schedule epoch first, so the bound is measured against wall-clock
+// time and a peer returning from a long partition resynchronizes
+// immediately. Frames from older epochs still decode — their dialects
+// stay cached within the window — which tolerates messages in flight
+// across a rotation.
 func (c *Conn) Recv() (*msgtree.Message, error) {
+	if err := c.syncSchedule(); err != nil {
+		return nil, err
+	}
 	c.pmu.Lock()
 	defer c.pmu.Unlock()
-	buf, epoch, err := c.t.recvFrame(c.rbuf[:0])
-	c.rbuf = buf
-	if err != nil {
-		return nil, err
+	for {
+		buf, epoch, kind, err := c.t.recvFrame(c.rbuf[:0])
+		c.rbuf = buf
+		if err != nil {
+			return nil, err
+		}
+		if kind != frame.KindData {
+			if err := c.handleControl(kind, epoch, buf); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// The horizon is re-read per frame: Recv may have been blocked
+		// across many schedule intervals, and the bound must reflect
+		// wall-clock time at decode, not at Recv entry.
+		if cur := c.horizon(); epoch > cur && epoch-cur > c.MaxEpochLead {
+			return nil, fmt.Errorf("session: frame epoch %d is %d ahead of current %d (max lead %d)",
+				epoch, epoch-cur, cur, c.MaxEpochLead)
+		}
+		g, err := c.dialect(epoch)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		r := c.mrng.Split()
+		c.mu.Unlock()
+		// The parser copies terminal content out of buf, so reusing rbuf
+		// for the next frame cannot corrupt the returned message.
+		m, err := wire.Parse(g, buf, r)
+		if err != nil {
+			return nil, fmt.Errorf("session: epoch %d: %w", epoch, err)
+		}
+		// Follow the sender's epoch, but never across our own pending
+		// rekey boundary: the proposer must not compose frames at or
+		// past the boundary until the ack arrives, or it would send
+		// old-family bytes at epochs the acked peer has already rekeyed.
+		c.mu.Lock()
+		follow := epoch
+		if p := c.pending; p != nil && follow >= p.from {
+			follow = p.from - 1
+		}
+		c.t.Advance(follow)
+		c.mu.Unlock()
+		return m, nil
 	}
-	if cur := c.Epoch(); epoch > cur && epoch-cur > c.MaxEpochLead {
-		return nil, fmt.Errorf("session: frame epoch %d is %d ahead of current %d (max lead %d)",
-			epoch, epoch-cur, cur, c.MaxEpochLead)
-	}
-	g, err := c.dialect(epoch)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	r := c.mrng.Split()
-	c.mu.Unlock()
-	// The parser copies terminal content out of buf, so reusing rbuf for
-	// the next frame cannot corrupt the returned message.
-	m, err := wire.Parse(g, buf, r)
-	if err != nil {
-		return nil, fmt.Errorf("session: epoch %d: %w", epoch, err)
-	}
-	c.t.Advance(epoch)
-	return m, nil
 }
 
 // Advance raises the send epoch to epoch, compiling (and caching) its
@@ -205,26 +428,297 @@ func (c *Conn) Advance(epoch uint64) error {
 	return nil
 }
 
-// Rotate advances to the next epoch and returns it.
+// Rotate advances to the next epoch and returns it, proposing an
+// automatic rekey when one is due (Options.RekeyEvery). Scheduled
+// sessions normally never call Rotate — the schedule advances them — but
+// mixing is safe: epochs are monotonic and settle on the highest value.
 func (c *Conn) Rotate() (uint64, error) {
 	next := c.Epoch() + 1
 	if err := c.Advance(next); err != nil {
 		return 0, err
 	}
+	if err := c.maybeAutoRekey(); err != nil {
+		return 0, err
+	}
 	return next, nil
 }
 
-// Pair connects two in-memory peers with net.Pipe, each speaking the
-// dialect family of its Versioner. Both sides must be built from the same
-// (spec, options) so their epochs agree, exactly as deployed peers would
-// be (paper §VIII).
+// Rekey proposes switching the dialect family to a fresh master seed
+// from the next epoch onward: it sends an in-band proposal carrying
+// (epoch, seed) — masked with the pad both peers derive from the shared
+// secret — and returns the proposed epoch. The new family is not used
+// until the peer acknowledges; the handshake completes on the Recv path
+// of both sides. Until then the proposer keeps sending under the old
+// family and, if scheduled, holds its epoch just below the boundary
+// (for at most rekeyAbandonLead epochs of schedule progress). Only one
+// proposal may be in flight at a time.
+//
+// Rekeying mutates the session's Versioner: a Conn that rekeys (Rekey
+// or Options.RekeyEvery) must own its Rotation exclusively. Sharing one
+// Rotation across several connections is fine for scheduled or manual
+// rotation, but a rekey negotiated on one connection would silently
+// switch the family under every other connection's feet.
+func (c *Conn) Rekey(seed int64) (uint64, error) {
+	if _, ok := c.versions.(Rekeyer); !ok {
+		return 0, errors.New("session: versioner does not support rekeying")
+	}
+	from, ok, err := c.rekey(seed)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, errors.New("session: a rekey is already in progress")
+	}
+	return from, nil
+}
+
+// rekey registers and sends a proposal targeting the next epoch. It
+// reports ok=false (not an error) when a proposal is already pending.
+// Reading the epoch and registering the proposal happen in the same
+// c.mu section syncSchedule uses for its gate-and-advance, so a
+// concurrent schedule sync can neither advance past a boundary being
+// registered nor have the boundary land at an already-passed epoch.
+func (c *Conn) rekey(seed int64) (from uint64, ok bool, err error) {
+	c.mu.Lock()
+	if c.pending != nil {
+		c.mu.Unlock()
+		return 0, false, nil
+	}
+	from = c.t.Epoch() + 1
+	c.pending = &rekeyProposal{from: from, seed: seed}
+	c.abandoned = nil // a new proposal supersedes any abandoned one
+	c.lastRekeyFrom = from
+	c.mu.Unlock()
+	if err := c.sendControl(frame.KindRekeyPropose, from, seed); err != nil {
+		c.mu.Lock()
+		if p := c.pending; p != nil && p.from == from && p.seed == seed {
+			c.pending = nil
+		}
+		c.mu.Unlock()
+		return 0, false, err
+	}
+	return from, true, nil
+}
+
+// maybeAutoRekey proposes a rekey when the session has crossed
+// RekeyEvery epochs since the last rekey boundary. Losing the
+// registration race to a concurrent proposer is not an error — one
+// proposal in flight is exactly the goal.
+func (c *Conn) maybeAutoRekey() error {
+	if c.rekeyEvery == 0 {
+		return nil
+	}
+	if _, ok := c.versions.(Rekeyer); !ok {
+		return nil
+	}
+	c.mu.Lock()
+	due := c.pending == nil && c.t.Epoch()+1 >= c.lastRekeyFrom+c.rekeyEvery
+	c.mu.Unlock()
+	if !due {
+		return nil
+	}
+	_, _, err := c.rekey(c.seedSource())
+	return err
+}
+
+// Control-frame payload: a masked magic/epoch/seed triple. The magic
+// rejects forged or wrong-family control frames after unmasking with
+// overwhelming probability.
+const (
+	controlMagic = 0x72656B79 // "reky"
+	controlLen   = 20         // magic(4) + epoch(8) + seed(8)
+)
+
+// sendControl writes one masked control frame. The handshake is
+// conducted under the pre-boundary family: propose and ack are masked
+// with the pad of epoch from-1, which the proposer (not yet switched)
+// and the acker (switched from `from` onward only) derive identically —
+// masking at the sender's current epoch would make an ack unreadable
+// whenever the acker's epoch already sits past the boundary.
+func (c *Conn) sendControl(kind byte, from uint64, seed int64) error {
+	hdrEpoch := from - 1
+	var p [controlLen]byte
+	binary.BigEndian.PutUint32(p[:4], controlMagic)
+	binary.BigEndian.PutUint64(p[4:12], from)
+	binary.BigEndian.PutUint64(p[12:20], uint64(seed))
+	c.maskControl(hdrEpoch, p[:])
+	return c.t.sendFrameAt(kind, hdrEpoch, p[:])
+}
+
+// maskControl XORs the deterministic pad of the frame's epoch over p.
+// Masking and unmasking are the same operation. Without a Padder the
+// payload travels in the clear.
+func (c *Conn) maskControl(epoch uint64, p []byte) {
+	pd, ok := c.versions.(Padder)
+	if !ok {
+		return
+	}
+	pad := pd.ControlPad(epoch, len(p))
+	for i := range p {
+		p[i] ^= pad[i]
+	}
+}
+
+// handleControl dispatches one control frame from the Recv loop.
+func (c *Conn) handleControl(kind byte, hdrEpoch uint64, payload []byte) error {
+	if kind != frame.KindRekeyPropose && kind != frame.KindRekeyAck {
+		return fmt.Errorf("session: unknown control frame kind %#02x", kind)
+	}
+	if len(payload) != controlLen {
+		return fmt.Errorf("session: control frame of %d bytes, want %d", len(payload), controlLen)
+	}
+	c.maskControl(hdrEpoch, payload)
+	if binary.BigEndian.Uint32(payload[:4]) != controlMagic {
+		return errors.New("session: control frame failed unmasking (forged or wrong dialect family)")
+	}
+	from := binary.BigEndian.Uint64(payload[4:12])
+	seed := int64(binary.BigEndian.Uint64(payload[12:20]))
+	if kind == frame.KindRekeyPropose {
+		return c.handlePropose(from, seed)
+	}
+	return c.handleAck(from, seed)
+}
+
+// handlePropose accepts (or deterministically rejects) a peer's rekey
+// proposal: apply the new family from the proposed epoch, compile its
+// first dialect, ack, and only then cross the boundary. Crossed
+// proposals — both peers proposed concurrently — settle without extra
+// round-trips: the later boundary wins, ties break toward the larger
+// seed, and both peers apply the same rule so exactly one proposal
+// survives.
+func (c *Conn) handlePropose(from uint64, seed int64) error {
+	if from == 0 {
+		return errors.New("session: rekey proposal for epoch 0 (the pre-negotiated epoch)")
+	}
+	cur := c.horizon()
+	if from+c.MaxEpochLead <= cur || from > cur+c.MaxEpochLead {
+		return fmt.Errorf("session: rekey proposal for epoch %d implausibly far from current %d", from, cur)
+	}
+	c.mu.Lock()
+	if p := c.pending; p != nil {
+		ours, theirs := *p, rekeyProposal{from: from, seed: seed}
+		if ours.from > theirs.from || (ours.from == theirs.from && uint64(ours.seed) > uint64(theirs.seed)) {
+			// Ours wins; the peer applies the same rule and acks ours.
+			c.mu.Unlock()
+			return nil
+		}
+		c.pending = nil // theirs wins; our proposal dies unacked
+	}
+	if from > c.lastRekeyFrom {
+		c.lastRekeyFrom = from
+	}
+	c.mu.Unlock()
+	if err := c.applyRekey(from, seed); err != nil {
+		return err
+	}
+	// Compile the new family's first dialect before acking, so an ack
+	// guarantees the acker is ready to decode the new dialect. If the
+	// compile or the ack write fails, roll the family switch back: the
+	// proposer was never acked and stays on the old family, so keeping
+	// the switch locally would diverge the two sides for good.
+	if _, err := c.dialect(from); err != nil {
+		c.unapplyRekey(from, seed)
+		return err
+	}
+	if err := c.sendControl(frame.KindRekeyAck, from, seed); err != nil {
+		c.unapplyRekey(from, seed)
+		return err
+	}
+	return c.Advance(from)
+}
+
+// handleAck completes our own proposal — pending, or abandoned by the
+// schedule outrunning it (the acker switched family the moment it
+// acked, so a late ack must still switch ours). Acks matching neither
+// (stale, superseded by a tie-break) are ignored.
+func (c *Conn) handleAck(from uint64, seed int64) error {
+	match := rekeyProposal{from: from, seed: seed}
+	c.mu.Lock()
+	switch {
+	case c.pending != nil && *c.pending == match:
+		c.pending = nil
+	case c.abandoned != nil && *c.abandoned == match:
+		c.abandoned = nil
+	default:
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	if err := c.applyRekey(from, seed); err != nil {
+		return err
+	}
+	return c.Advance(from)
+}
+
+// applyRekey records the family switch in the Versioner and drops cached
+// dialects at or past the boundary — they were compiled under the old
+// family.
+func (c *Conn) applyRekey(from uint64, seed int64) error {
+	rk, ok := c.versions.(Rekeyer)
+	if !ok {
+		return errors.New("session: peer requested rekey but versioner cannot rekey")
+	}
+	if err := rk.Rekey(from, seed); err != nil {
+		return fmt.Errorf("session: rekey: %w", err)
+	}
+	c.dropDialectsFrom(from)
+	return nil
+}
+
+// unapplyRekey rolls back a family switch that failed to commit (the
+// ack never reached the stream). Best-effort: a Versioner without
+// rollback support keeps the switch, which is the pre-rollback behavior.
+func (c *Conn) unapplyRekey(from uint64, seed int64) {
+	type dropper interface {
+		DropRekey(from uint64, seed int64) error
+	}
+	if d, ok := c.versions.(dropper); ok {
+		if err := d.DropRekey(from, seed); err == nil {
+			c.dropDialectsFrom(from) // the new-family dialects just cached
+		}
+	}
+}
+
+// dropDialectsFrom invalidates cached dialects at or past a rekey
+// boundary, keeping the send-side reverse index in step.
+func (c *Conn) dropDialectsFrom(from uint64) {
+	c.mu.Lock()
+	c.dialects.DeleteIf(
+		func(e uint64, _ *graph.Graph) bool { return e >= from },
+		func(e uint64, g *graph.Graph) {
+			if c.byGraph[g] == e {
+				delete(c.byGraph, g)
+			}
+		})
+	c.mu.Unlock()
+}
+
+// randomSeed draws a fresh positive master seed for automatic rekeying.
+func randomSeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		return int64(binary.BigEndian.Uint64(b[:]) >> 1)
+	}
+	return time.Now().UnixNano()
+}
+
+// Pair connects two in-memory peers with a buffered duplex, each
+// speaking the dialect family of its Versioner. Both sides must be built
+// from the same (spec, options) so their epochs agree, exactly as
+// deployed peers would be (paper §VIII).
 func Pair(a, b Versioner) (*Conn, *Conn, error) {
+	return PairOpts(a, b, Options{}, Options{})
+}
+
+// PairOpts is Pair with per-side control-plane options — how the tests
+// give each peer its own independently clocked schedule.
+func PairOpts(a, b Versioner, aopts, bopts Options) (*Conn, *Conn, error) {
 	ca, cb := newPipe()
-	x, err := NewConn(ca, a)
+	x, err := NewConnOpts(ca, a, aopts)
 	if err != nil {
 		return nil, nil, err
 	}
-	y, err := NewConn(cb, b)
+	y, err := NewConnOpts(cb, b, bopts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -16,13 +16,46 @@
 //   - Conn adds the dialect logic on top of a core.Rotation (or any
 //     Versioner): Send serializes a message with the dialect its graph
 //     belongs to, Recv decodes each incoming frame with the cached
-//     protocol version of the frame's epoch, and either peer may advance
-//     the epoch mid-session — the other follows automatically because
-//     receiving a higher epoch raises the local send epoch.
+//     protocol version of the frame's epoch, and the epoch advances
+//     mid-session — the peer follows automatically because receiving a
+//     higher epoch raises the local send epoch.
+//
+// Epochs advance three ways, composable per connection (Options):
+//
+//   - Wall-clock scheduling (Options.Schedule, internal/session/sched):
+//     the session adopts the schedule's epoch on every NewMessage/Recv,
+//     so peers sharing (genesis, interval) converge on the same dialect
+//     from their own clocks — including across partitions, where the
+//     forged-epoch bound is measured after adopting the local schedule
+//     epoch and therefore never trips on an honest reconnect.
+//
+//   - Explicit Advance/Rotate calls, the manual control used by the
+//     differential tests and the live-rotation example.
+//
+//   - The follow rule: a received data frame whose epoch exceeds the
+//     current one (within MaxEpochLead, and only after its payload
+//     decodes) pulls the session forward.
+//
+// Independent of how epochs move, the dialect family itself can be
+// reseeded in flight: Rekey (or Options.RekeyEvery) runs an in-band
+// handshake over reserved control frames — a masked (epoch, seed)
+// proposal acknowledged before either side sends under the new family,
+// with a deterministic tie-break when both peers propose at once. The
+// handshake progresses on the Recv path of both peers, so it completes
+// as a side effect of normal traffic.
+//
+// Compiled dialects are cached per connection in an LRU bounded by
+// Options.CacheWindow (internal/lru), and core.Rotation bounds its
+// compiled versions the same way, keeping long-lived sessions at
+// O(window) memory across unbounded epochs; evicted epochs recompile
+// deterministically on demand.
 //
 // Concurrency: a single writer mutex serializes frame writes, a single
 // reader mutex serializes frame reads, and the current epoch is read
 // lock-free through an atomic, so Epoch() on the hot path never contends
 // with senders. Steady-state Send/Recv reuses pooled buffers shared with
 // internal/frame and does not allocate per message on the payload path.
+//
+// See docs/ARCHITECTURE.md for the frame format (kind|length word, epoch
+// header) and the control-plane design as a whole.
 package session

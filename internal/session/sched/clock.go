@@ -1,0 +1,42 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// FakeClock is a hand-driven clock for tests, simulations and examples:
+// pass its Now method to Scheduler.WithClock and advance it explicitly.
+// It is safe for concurrent use, so one goroutine can advance epoch time
+// while session peers read it.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock returns a fake clock frozen at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{t: start}
+}
+
+// Now returns the current fake instant.
+func (f *FakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+// Advance moves the clock forward by d.
+func (f *FakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// Set jumps the clock to t (backwards jumps are allowed; schedulers
+// clamp instants before genesis to epoch 0).
+func (f *FakeClock) Set(t time.Time) {
+	f.mu.Lock()
+	f.t = t
+	f.mu.Unlock()
+}

@@ -1,0 +1,79 @@
+// Package sched derives dialect epochs from coarse wall-clock time,
+// the paper's deployment model (§VIII: new obfuscated versions "at
+// regular intervals") made operational. Two peers configured with the
+// same genesis instant and interval length compute the same epoch from
+// their own clocks, so they converge on the same dialect with no
+// coordination at all — including after a network partition, when the
+// returning peer's clock has kept counting intervals and its scheduler
+// lands directly on the fleet-wide current epoch.
+//
+// The clock is injectable (Scheduler.WithClock) so tests and examples
+// drive epoch time deterministically; production schedulers use
+// time.Now. Clock skew between peers is absorbed by the session layer's
+// epoch follow rule and its dialect cache window: a peer up to
+// (window-1) intervals behind still decodes the frames of a peer that
+// has already crossed into the next epoch.
+package sched
+
+import "time"
+
+// Scheduler maps wall-clock time onto a monotonically increasing epoch
+// counter: epoch e spans [genesis + e*interval, genesis + (e+1)*interval).
+// A Scheduler is immutable after construction and safe for concurrent
+// use as long as its clock function is.
+type Scheduler struct {
+	genesis  time.Time
+	interval time.Duration
+	now      func() time.Time
+}
+
+// New returns a scheduler ticking every interval from genesis, reading
+// time.Now. It panics if interval is not positive, mirroring
+// time.NewTicker: a zero interval is a configuration bug, not a runtime
+// condition.
+func New(genesis time.Time, interval time.Duration) *Scheduler {
+	if interval <= 0 {
+		panic("sched: non-positive interval")
+	}
+	return &Scheduler{genesis: genesis, interval: interval, now: time.Now}
+}
+
+// WithClock returns a copy of the scheduler reading time from now
+// instead of time.Now — the injectable clock for tests, simulations and
+// examples. The function must be safe for concurrent calls.
+func (s *Scheduler) WithClock(now func() time.Time) *Scheduler {
+	c := *s
+	c.now = now
+	return &c
+}
+
+// Genesis returns the instant of epoch 0.
+func (s *Scheduler) Genesis() time.Time { return s.genesis }
+
+// Interval returns the length of one epoch.
+func (s *Scheduler) Interval() time.Duration { return s.interval }
+
+// Epoch returns the epoch the clock currently falls in. Instants before
+// genesis clamp to epoch 0, so a peer with a slightly early clock speaks
+// the first dialect rather than underflowing.
+func (s *Scheduler) Epoch() uint64 {
+	return s.EpochAt(s.now())
+}
+
+// EpochAt returns the epoch a given instant falls in.
+func (s *Scheduler) EpochAt(t time.Time) uint64 {
+	d := t.Sub(s.genesis)
+	if d < 0 {
+		return 0
+	}
+	return uint64(d / s.interval)
+}
+
+// Next returns the upcoming epoch and how long until it starts — the
+// sleep a rotation daemon wants between dialect switches.
+func (s *Scheduler) Next() (uint64, time.Duration) {
+	t := s.now()
+	e := s.EpochAt(t)
+	start := s.genesis.Add(time.Duration(e+1) * s.interval)
+	return e + 1, start.Sub(t)
+}

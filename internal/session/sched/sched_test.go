@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+var genesis = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestEpochAt(t *testing.T) {
+	s := New(genesis, time.Hour)
+	cases := []struct {
+		at   time.Time
+		want uint64
+	}{
+		{genesis.Add(-time.Minute), 0}, // pre-genesis clamps
+		{genesis, 0},
+		{genesis.Add(59 * time.Minute), 0},
+		{genesis.Add(time.Hour), 1},
+		{genesis.Add(time.Hour + time.Nanosecond), 1},
+		{genesis.Add(1000 * time.Hour), 1000},
+	}
+	for _, tc := range cases {
+		if got := s.EpochAt(tc.at); got != tc.want {
+			t.Errorf("EpochAt(%v) = %d, want %d", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestIndependentClocksConverge(t *testing.T) {
+	// Two peers with independent fake clocks that agree only on
+	// (genesis, interval) compute the same epoch — even when one clock
+	// jumped a partition's worth of intervals and the clocks are skewed
+	// within an interval of each other.
+	clockA := NewFakeClock(genesis)
+	clockB := NewFakeClock(genesis.Add(3 * time.Second)) // skew < interval
+	a := New(genesis, time.Minute).WithClock(clockA.Now)
+	b := New(genesis, time.Minute).WithClock(clockB.Now)
+
+	clockA.Advance(500 * time.Minute)
+	clockB.Advance(500 * time.Minute)
+	if ea, eb := a.Epoch(), b.Epoch(); ea != 500 || eb != 500 {
+		t.Fatalf("epochs after jump: A=%d B=%d, want 500/500", ea, eb)
+	}
+}
+
+func TestNext(t *testing.T) {
+	clock := NewFakeClock(genesis.Add(90 * time.Second))
+	s := New(genesis, time.Minute).WithClock(clock.Now)
+	next, wait := s.Next()
+	if next != 2 || wait != 30*time.Second {
+		t.Fatalf("Next() = (%d, %v), want (2, 30s)", next, wait)
+	}
+}
+
+func TestNonPositiveIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero interval did not panic")
+		}
+	}()
+	New(genesis, 0)
+}

@@ -74,14 +74,21 @@ func (t *Transport) SendPayload(payload []byte) error {
 	return t.sendPayloadAt(t.epoch.Load(), payload)
 }
 
-// sendPayloadAt writes one payload tagged with an explicit epoch (used by
-// Conn, which binds the epoch to the message's graph, and by ServeLoop,
-// which answers with the request's epoch). The header is staged in the
-// transport's own scratch so the hot path does not allocate.
+// sendPayloadAt writes one data payload tagged with an explicit epoch
+// (used by Conn, which binds the epoch to the message's graph, and by
+// ServeLoop, which answers with the request's epoch).
 func (t *Transport) sendPayloadAt(epoch uint64, payload []byte) error {
+	return t.sendFrameAt(frame.KindData, epoch, payload)
+}
+
+// sendFrameAt writes one frame of any kind. The header is staged in the
+// transport's own scratch so the hot path does not allocate; Conn's
+// control plane (the rekey handshake) sends its control frames through
+// here with a nonzero kind.
+func (t *Transport) sendFrameAt(kind byte, epoch uint64, payload []byte) error {
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
-	if err := frame.EncodeEpochHeader(t.whdr[:], epoch, len(payload)); err != nil {
+	if err := frame.EncodeHeader(t.whdr[:], kind, epoch, len(payload)); err != nil {
 		return err
 	}
 	if _, err := t.w.Write(t.whdr[:]); err != nil {
@@ -93,38 +100,47 @@ func (t *Transport) sendPayloadAt(epoch uint64, payload []byte) error {
 
 // recvFrame reads one frame under rmu into buf, via the transport's own
 // header scratch (no per-read allocation).
-func (t *Transport) recvFrame(buf []byte) ([]byte, uint64, error) {
+func (t *Transport) recvFrame(buf []byte) ([]byte, uint64, byte, error) {
 	t.rmu.Lock()
 	defer t.rmu.Unlock()
 	return t.recvFrameLocked(buf)
 }
 
-func (t *Transport) recvFrameLocked(buf []byte) ([]byte, uint64, error) {
+func (t *Transport) recvFrameLocked(buf []byte) ([]byte, uint64, byte, error) {
 	if _, err := io.ReadFull(t.r, t.rhdr[:]); err != nil {
-		return buf, 0, err
+		return buf, 0, 0, err
 	}
-	n, epoch, err := frame.DecodeEpochHeader(t.rhdr[:])
+	kind, n, epoch, err := frame.DecodeHeader(t.rhdr[:])
 	if err != nil {
-		return buf, 0, err
+		return buf, 0, 0, err
 	}
 	out, err := frame.ReadBody(t.r, buf, n)
-	return out, epoch, err
+	return out, epoch, kind, err
 }
 
-// RecvPayload reads one frame, appending the payload to buf (which may be
-// nil or a recycled buffer) and returning the extended slice and the
-// frame's epoch. Receiving an epoch above the current send epoch — but
+// RecvPayload reads one data frame, appending the payload to buf (which
+// may be nil or a recycled buffer) and returning the extended slice and
+// the frame's epoch. Control frames (the session layer's rekey
+// handshake) are read and discarded: raw transport users exchange
+// payloads only, and a control frame neither surfaces nor moves the
+// epoch. Receiving a data epoch above the current send epoch — but
 // within DefaultMaxEpochLead of it — advances it, so a peer follows the
 // other side's rotation automatically; a frame naming a far-future epoch
 // is delivered without moving the epoch (the caller sees the raw epoch
 // and decides).
 func (t *Transport) RecvPayload(buf []byte) ([]byte, uint64, error) {
-	out, epoch, err := t.recvFrame(buf)
-	if err != nil {
-		return out, 0, err
+	for {
+		out, epoch, kind, err := t.recvFrame(buf)
+		if err != nil {
+			return out, 0, err
+		}
+		if kind != frame.KindData {
+			buf = out[:0]
+			continue
+		}
+		t.follow(epoch)
+		return out, epoch, nil
 	}
-	t.follow(epoch)
-	return out, epoch, nil
 }
 
 // follow applies the bounded follow rule.
@@ -144,13 +160,18 @@ func (t *Transport) Roundtrip(req []byte) ([]byte, uint64, error) {
 	}
 	t.rmu.Lock()
 	defer t.rmu.Unlock()
-	out, epoch, err := t.recvFrameLocked(t.rbuf[:0])
-	if err != nil {
-		return nil, 0, err
+	for {
+		out, epoch, kind, err := t.recvFrameLocked(t.rbuf[:0])
+		if err != nil {
+			return nil, 0, err
+		}
+		t.rbuf = out
+		if kind != frame.KindData {
+			continue
+		}
+		t.follow(epoch)
+		return out, epoch, nil
 	}
-	t.rbuf = out
-	t.follow(epoch)
-	return out, epoch, nil
 }
 
 // ServeLoop is the server side of a request/response core application:

@@ -1,7 +1,11 @@
-// Grammar reference for the specification language.
+// Package spec parses the message-format specification language into a
+// message format graph.
 //
-// A specification declares the protocol name and a single structured
-// root node:
+// The user-facing language reference — the full grammar plus one worked
+// example per construct (seq, optional, repeat, tabular) drawn from the
+// shipping testdata/ specifications — lives in docs/SPEC.md at the
+// repository root. This package documentation keeps only the grammar
+// skeleton for quick orientation:
 //
 //	spec      = "protocol" IDENT ";" "root" struct .
 //	node      = terminal | struct .
@@ -11,34 +15,15 @@
 //	          | "bytes" IDENT bound [ "min" INT ] ";"
 //	          | "ascii" IDENT bound [ "min" INT ] ";"      (decimal integer text)
 //
-//	bound     = "fixed" INT                                fixed byte size
-//	          | "delim" STRING                             terminated by the byte sequence
-//	          | "length" "(" IDENT ")"                     size held by the referenced field
-//	          | "end"                                      extends to the region end
+//	bound     = "fixed" INT | "delim" STRING | "length" "(" IDENT ")" | "end"
 //
-//	seq       = "seq" IDENT [ bound ] "{" node+ "}"        default boundary: delegated
+//	seq       = "seq" IDENT [ bound ] "{" node+ "}"
 //	optional  = "optional" IDENT "when" IDENT ("==" | "!=") (INT | STRING) "{" node "}"
 //	repeat    = "repeat" IDENT ("until" STRING | "end" | "length" "(" IDENT ")") "{" node "}"
 //	tabular   = "tabular" IDENT "count" "(" IDENT ")" "{" node "}"
 //
 // Comments run from '#' to end of line. Strings use double quotes with
-// \r \n \t \0 \\ \" and \xHH escapes.
-//
-// Semantics:
-//
-//   - Node names are unique per specification; they form the accessor
-//     interface (Scope.SetUint("name", ...)) and remain stable under
-//     obfuscation.
-//   - A uint field referenced by length(...) or count(...) is
-//     auto-filled by the serializer; the application must not set it.
-//     Length references must resolve to fixed-width uint fields that
-//     parse before every dependent node.
-//   - "min" declares the application's guaranteed minimum byte length
-//     for a variable-length field. It gates the SplitCat transformation
-//     and is required (min >= 1) for the first field of a
-//     delimiter-terminated repetition item, whose first bytes must never
-//     be confusable with the terminator.
-//   - The presence of an optional subtree is decided by the predicate
-//     over an earlier user-set field (uint or bytes equality), exactly
-//     the Optional semantics of the paper's §V-A.
+// \r \n \t \0 \\ \" and \xHH escapes. Semantic rules (name uniqueness,
+// auto-filled length/count references, the min declaration, optional
+// predicates) are specified in docs/SPEC.md.
 package spec

@@ -34,11 +34,13 @@ package protoobf
 import (
 	"io"
 	"net"
+	"time"
 
 	"protoobf/internal/core"
 	"protoobf/internal/graph"
 	"protoobf/internal/msgtree"
 	"protoobf/internal/session"
+	"protoobf/internal/session/sched"
 	"protoobf/internal/transform"
 )
 
@@ -91,14 +93,69 @@ func TransformNames() []string {
 
 // Session is an obfuscated message session over a live byte stream: each
 // frame is tagged with its dialect epoch outside the obfuscated payload,
-// and either peer may rotate the dialect mid-session — the other follows
-// automatically. See internal/session.
+// and the dialect rotates mid-session — on a wall-clock schedule, by
+// explicit Rotate/Advance calls, or by following the peer. Sessions can
+// also rekey in-band (Session.Rekey or SessionOptions.RekeyEvery),
+// switching the whole dialect family to a fresh obfuscation seed. See
+// internal/session.
 type Session = session.Conn
+
+// Schedule derives dialect epochs from coarse wall-clock time: epoch e
+// spans [genesis + e*interval, genesis + (e+1)*interval). Peers sharing
+// (genesis, interval) converge on the same epoch — and therefore the
+// same dialect — from their own clocks, with no coordination even after
+// a partition. The clock is injectable (WithClock) for tests and
+// simulations.
+type Schedule = sched.Scheduler
+
+// NewSchedule returns a wall-clock epoch schedule ticking every interval
+// from genesis. It panics if interval is not positive.
+func NewSchedule(genesis time.Time, interval time.Duration) *Schedule {
+	return sched.New(genesis, interval)
+}
+
+// SessionOptions configures the rotation control plane of a session. The
+// zero value gives a manually rotated session with default bounds.
+type SessionOptions struct {
+	// Schedule, when non-nil, advances the session's epoch from
+	// wall-clock time (see Schedule). Nil means epochs move only via
+	// Rotate/Advance or by following the peer.
+	Schedule *Schedule
+
+	// RekeyEvery, when nonzero, proposes an in-band rekey — a fresh
+	// master seed for the dialect family, exchanged as a masked control
+	// frame and acknowledged before either side uses it — every
+	// RekeyEvery epochs. A rekeying session mutates its Rotation, so the
+	// session must own the Rotation exclusively; do not share one
+	// Rotation across rekey-enabled connections.
+	RekeyEvery uint64
+
+	// CacheWindow bounds how many compiled dialect epochs the session
+	// (and its Rotation) keeps: 0 means the defaults, negative means
+	// unbounded. Evicted epochs recompile deterministically on demand,
+	// so the window keeps long-lived sessions at O(window) memory.
+	CacheWindow int
+}
 
 // NewSession opens a session over rw speaking the epoch-keyed dialect
 // family of rot. Both peers must share the rotation's (spec, options).
 func NewSession(rw io.ReadWriter, rot *Rotation) (*Session, error) {
 	return session.NewConn(rw, rot)
+}
+
+// NewSessionWith opens a session over rw with an explicit control-plane
+// configuration: wall-clock scheduled rotation, periodic in-band
+// rekeying, and a bounded dialect cache. A CacheWindow also bounds rot's
+// compiled-version cache.
+func NewSessionWith(rw io.ReadWriter, rot *Rotation, opts SessionOptions) (*Session, error) {
+	if opts.CacheWindow != 0 {
+		rot.Bound(opts.CacheWindow)
+	}
+	return session.NewConnOpts(rw, rot, session.Options{
+		Schedule:    opts.Schedule,
+		RekeyEvery:  opts.RekeyEvery,
+		CacheWindow: opts.CacheWindow,
+	})
 }
 
 // NewStaticSession opens a session over rw that speaks a single fixed
@@ -111,6 +168,13 @@ func NewStaticSession(rw io.ReadWriter, p *Protocol) (*Session, error) {
 // independently from the same (spec, options) — exactly how deployed
 // peers agree on every epoch's dialect without coordination (§VIII).
 func NewSessionPair(source string, opts Options) (*Session, *Session, error) {
+	return NewSessionPairWith(source, opts, SessionOptions{})
+}
+
+// NewSessionPairWith is NewSessionPair with a control-plane
+// configuration applied to both peers (each still owns an independent
+// Rotation, as deployed peers would).
+func NewSessionPairWith(source string, opts Options, sopts SessionOptions) (*Session, *Session, error) {
 	a, err := core.NewRotation(source, opts)
 	if err != nil {
 		return nil, nil, err
@@ -119,7 +183,16 @@ func NewSessionPair(source string, opts Options) (*Session, *Session, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return session.Pair(a, b)
+	if sopts.CacheWindow != 0 {
+		a.Bound(sopts.CacheWindow)
+		b.Bound(sopts.CacheWindow)
+	}
+	o := session.Options{
+		Schedule:    sopts.Schedule,
+		RekeyEvery:  sopts.RekeyEvery,
+		CacheWindow: sopts.CacheWindow,
+	}
+	return session.PairOpts(a, b, o, o)
 }
 
 // DialSession connects to addr over TCP and opens a session speaking

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+	"time"
 
 	"protoobf"
 )
@@ -193,6 +194,145 @@ root seq msg end {
 	v, _ := back.Scope().GetUint("seqno")
 	fmt.Println(v)
 	// Output: 41
+}
+
+// ExampleNewRotation shows the epoch-keyed dialect family: the same
+// message serializes to different wire bytes in different epochs, while
+// every peer sharing (spec, options) derives identical dialects.
+func ExampleNewRotation() {
+	spec := `
+protocol ping;
+root seq msg end {
+    uint  seqno 4;
+    bytes note end;
+}`
+	rot, err := protoobf.NewRotation(spec, protoobf.Options{PerNode: 2, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	serialize := func(epoch uint64) []byte {
+		proto, err := rot.Version(epoch)
+		if err != nil {
+			panic(err)
+		}
+		m := proto.NewMessage()
+		if err := m.Scope().SetUint("seqno", 9); err != nil {
+			panic(err)
+		}
+		if err := m.Scope().SetString("note", "hi"); err != nil {
+			panic(err)
+		}
+		data, err := proto.Serialize(m)
+		if err != nil {
+			panic(err)
+		}
+		return data
+	}
+	fmt.Println("epochs 0 and 1 share wire bytes:", bytes.Equal(serialize(0), serialize(1)))
+	// Output: epochs 0 and 1 share wire bytes: false
+}
+
+// ExampleNewSessionPair round-trips a message between two in-memory
+// session peers and rotates the dialect mid-session.
+func ExampleNewSessionPair() {
+	spec := `
+protocol ping;
+root seq msg end {
+    uint  seqno 4;
+    bytes note end;
+}`
+	a, b, err := protoobf.NewSessionPair(spec, protoobf.Options{PerNode: 2, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	for round := uint64(0); round < 2; round++ {
+		m, err := a.NewMessage()
+		if err != nil {
+			panic(err)
+		}
+		if err := m.Scope().SetUint("seqno", 100+round); err != nil {
+			panic(err)
+		}
+		if err := m.Scope().SetString("note", "hello"); err != nil {
+			panic(err)
+		}
+		if err := a.Send(m); err != nil {
+			panic(err)
+		}
+		got, err := b.Recv()
+		if err != nil {
+			panic(err)
+		}
+		seqno, _ := got.Scope().GetUint("seqno")
+		fmt.Printf("epoch %d delivered seqno %d\n", b.Epoch(), seqno)
+		if _, err := a.Rotate(); err != nil { // B follows on its next Recv
+			panic(err)
+		}
+	}
+	// Output:
+	// epoch 0 delivered seqno 100
+	// epoch 1 delivered seqno 101
+}
+
+// ExampleNewSchedule shows wall-clock epoch derivation with an injected
+// clock: peers sharing (genesis, interval) agree on the epoch — and so
+// on the dialect — from their own clocks, with no coordination.
+func ExampleNewSchedule() {
+	genesis := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := protoobf.NewSchedule(genesis, time.Hour).WithClock(func() time.Time {
+		return genesis.Add(36*time.Hour + 20*time.Minute)
+	})
+	fmt.Println("current epoch:", s.Epoch())
+	next, wait := s.Next()
+	fmt.Println("epoch", next, "starts in", wait)
+	// Output:
+	// current epoch: 36
+	// epoch 37 starts in 40m0s
+}
+
+// ExampleNewSessionPairWith runs the full control plane in memory: a
+// shared wall-clock schedule (driven by a fake clock here) rotates the
+// dialect, and both peers converge without any in-band coordination.
+func ExampleNewSessionPairWith() {
+	spec := `
+protocol ping;
+root seq msg end {
+    uint  seqno 4;
+    bytes note end;
+}`
+	genesis := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	now := genesis
+	schedule := protoobf.NewSchedule(genesis, time.Hour).WithClock(func() time.Time { return now })
+	a, b, err := protoobf.NewSessionPairWith(spec,
+		protoobf.Options{PerNode: 2, Seed: 7},
+		protoobf.SessionOptions{Schedule: schedule, CacheWindow: 4})
+	if err != nil {
+		panic(err)
+	}
+	for round := uint64(0); round < 3; round++ {
+		m, err := a.NewMessage() // adopts the schedule's epoch
+		if err != nil {
+			panic(err)
+		}
+		if err := m.Scope().SetUint("seqno", round); err != nil {
+			panic(err)
+		}
+		if err := m.Scope().SetString("note", "tick"); err != nil {
+			panic(err)
+		}
+		if err := a.Send(m); err != nil {
+			panic(err)
+		}
+		if _, err := b.Recv(); err != nil {
+			panic(err)
+		}
+		fmt.Printf("round %d at epoch %d\n", round, b.Epoch())
+		now = now.Add(time.Hour) // wall clock advances for both peers
+	}
+	// Output:
+	// round 0 at epoch 0
+	// round 1 at epoch 1
+	// round 2 at epoch 2
 }
 
 // TestSessionPairRotation drives the exported session API: two in-memory
