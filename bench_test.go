@@ -24,6 +24,7 @@ package protoobf_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"protoobf"
@@ -348,8 +349,21 @@ func BenchmarkSession(b *testing.B) {
 	b.Run("roundtrip", func(b *testing.B) {
 		for _, perNode := range []int{0, 2} {
 			b.Run(fmt.Sprintf("perNode=%d", perNode), func(b *testing.B) {
-				a, peer, err := protoobf.NewSessionPair(sessionPingSpec,
-					protoobf.Options{PerNode: perNode, Seed: 11})
+				opts := protoobf.Options{PerNode: perNode, Seed: 11}
+				epA, err := protoobf.NewEndpoint(sessionPingSpec, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				epB, err := protoobf.NewEndpoint(sessionPingSpec, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ca, cb := protoobf.Pipe()
+				a, err := epA.Session(ca)
+				if err != nil {
+					b.Fatal(err)
+				}
+				peer, err := epB.Session(cb)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -380,6 +394,109 @@ func BenchmarkSession(b *testing.B) {
 			})
 		}
 	})
+}
+
+// BenchmarkEndpointSharedSessions measures the many-sessions-one-family
+// shape the Endpoint API exists for: 64 live sessions minted from one
+// Endpoint, with the measured operation being the shared
+// compiled-version fetch — the lookup every session performs at each
+// epoch boundary and dialect-cache miss, and the one point where
+// concurrent sessions of a family used to serialize. The single-mutex
+// variant pins the old geometry (one lock shard); the sharded variant
+// is the default. The workload precompiles an epoch ring so the
+// measurement isolates cache throughput from compile cost.
+//
+// The gap scales with hardware parallelism: with many cores the single
+// mutex flatlines at one lock's hand-off rate while the sharded cache
+// scales out, which is where the >= 2x shows. GOMAXPROCS is raised to
+// at least 8 for the duration so the contention being measured exists
+// even on small CI machines (a single-core runner can only show the
+// scheduler-level part of the gap).
+func BenchmarkEndpointSharedSessions(b *testing.B) {
+	const (
+		nSessions = 64
+		epochRing = 16
+	)
+	if prev := runtime.GOMAXPROCS(0); prev < 8 {
+		runtime.GOMAXPROCS(8)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	for _, v := range []struct {
+		name   string
+		shards int
+	}{
+		{"single-mutex", 1},
+		{"sharded", 0},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			// Capacity leaves headroom over the ring so per-shard skew
+			// cannot evict live epochs and turn fetches into compiles.
+			ep, err := protoobf.NewEndpoint(sessionPingSpec,
+				protoobf.Options{PerNode: 1, Seed: 9},
+				protoobf.WithVersionCache(epochRing*16, v.shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// 64 concurrent sessions on the one endpoint, each proven
+			// live with a round trip.
+			sessions := make([]*protoobf.Session, 0, nSessions)
+			for i := 0; i < nSessions; i++ {
+				ca, cb := protoobf.Pipe()
+				sa, err := ep.Session(ca)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sb, err := ep.Session(cb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := sa.NewMessage()
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := m.Scope()
+				if err := s.SetUint("a", 1); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.SetUint("b", 2); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.SetBytes("payload", []byte("01234567")); err != nil {
+					b.Fatal(err)
+				}
+				if err := sa.Send(m); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sb.Recv(); err != nil {
+					b.Fatal(err)
+				}
+				sessions = append(sessions, sa, sb)
+			}
+			defer func() {
+				for _, s := range sessions {
+					s.Release()
+				}
+			}()
+			for e := uint64(0); e < epochRing; e++ {
+				if _, err := ep.Version(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetParallelism(nSessions) // goroutines >= sessions
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				e := uint64(0)
+				for pb.Next() {
+					if _, err := ep.Version(e & (epochRing - 1)); err != nil {
+						b.Error(err) // FailNow must not run on a worker goroutine
+						return
+					}
+					e++
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkGenerate measures code generation (the other half of the

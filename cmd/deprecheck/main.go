@@ -1,0 +1,152 @@
+// Command deprecheck is the deprecation audit CI runs over this
+// repository: it fails when non-deprecated code calls one of the
+// deprecated session constructors. The deprecated API must keep
+// compiling and passing its own tests, but nothing else in the repo —
+// examples, benchmarks, tools, new tests — may quietly depend on it.
+//
+// The rule is file-granular: a file whose base name contains
+// "deprecated" (deprecated.go, deprecated_test.go) is exempt, because
+// that is where the wrappers and their tests live. Everything else is
+// audited. Both qualified calls (protoobf.NewSession) and unqualified
+// calls from inside the protoobf package are caught.
+//
+// Usage:
+//
+//	deprecheck [root]
+//
+// Exit status 1 when any violation is found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// deprecatedCalls are the constructors retired by the Endpoint API.
+var deprecatedCalls = map[string]string{
+	"NewSession":         "Endpoint.Session",
+	"NewSessionWith":     "Endpoint.Session with options",
+	"NewStaticSession":   "NewEndpoint(WithStaticProtocol)",
+	"NewSessionPair":     "two Endpoints over Pipe()",
+	"NewSessionPairWith": "two Endpoints over Pipe() with options",
+	"DialSession":        "Endpoint.Dial",
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	violations, err := audit(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deprecheck:", err)
+		os.Exit(2)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		fmt.Fprintf(os.Stderr, "deprecheck: %d call(s) to deprecated constructors outside deprecated files\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("deprecheck: no deprecated-constructor calls outside deprecated files")
+}
+
+// audit walks root and returns one formatted line per violation,
+// sorted for stable output.
+func audit(root string) ([]string, error) {
+	var violations []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || exempt(path) {
+			return nil
+		}
+		found, err := auditFile(path)
+		if err != nil {
+			return err
+		}
+		violations = append(violations, found...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(violations)
+	return violations, nil
+}
+
+// exempt reports whether the file hosts the deprecated API or its
+// tests.
+func exempt(path string) bool {
+	return strings.Contains(strings.ToLower(filepath.Base(path)), "deprecated")
+}
+
+// auditFile parses one file and collects calls to deprecated
+// constructors: qualified calls through whatever local name the file
+// imports the protoobf package under (plain, aliased, or dot), and
+// bare X(...) inside package protoobf itself (where the constructors
+// are in scope unqualified).
+func auditFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	// Bare identifiers resolve to the deprecated constructors inside the
+	// package itself and under a dot import of it.
+	bareInScope := f.Name.Name == "protoobf"
+	qualifiers := map[string]bool{}
+	for _, imp := range f.Imports {
+		if imp.Path.Value != `"protoobf"` {
+			continue
+		}
+		switch {
+		case imp.Name == nil:
+			qualifiers["protoobf"] = true
+		case imp.Name.Name == ".":
+			bareInScope = true
+		case imp.Name.Name != "_":
+			qualifiers[imp.Name.Name] = true
+		}
+	}
+	var found []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if x, ok := fun.X.(*ast.Ident); ok && qualifiers[x.Name] {
+				name = fun.Sel.Name
+			}
+		case *ast.Ident:
+			if bareInScope {
+				name = fun.Name
+			}
+		}
+		if repl, bad := deprecatedCalls[name]; bad {
+			pos := fset.Position(call.Pos())
+			found = append(found, fmt.Sprintf("%s:%d: call to deprecated %s (use %s)", pos.Filename, pos.Line, name, repl))
+		}
+		return true
+	})
+	return found, nil
+}

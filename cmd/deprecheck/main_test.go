@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, src string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditFlagsQualifiedCalls(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "examples/demo/main.go", `package main
+
+import "protoobf"
+
+func main() {
+	_, _, _ = protoobf.NewSessionPair("spec", protoobf.Options{})
+	_, _ = protoobf.NewEndpoint("spec", protoobf.Options{}) // fine
+}
+`)
+	got, err := audit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !strings.Contains(got[0], "NewSessionPair") {
+		t.Fatalf("audit = %v, want one NewSessionPair violation", got)
+	}
+}
+
+func TestAuditFlagsAliasedAndDotImports(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "aliased.go", `package main
+
+import po "protoobf"
+
+func main() { _, _ = po.NewSession(nil, nil) }
+`)
+	write(t, dir, "dotted.go", `package other
+
+import . "protoobf"
+
+func use() { _, _, _ = DialSession("x", nil) }
+`)
+	got, err := audit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("audit = %v, want aliased + dot-import violations", got)
+	}
+}
+
+func TestAuditFlagsUnqualifiedInPackage(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "helper.go", `package protoobf
+
+func helper() {
+	_, _ = NewSession(nil, nil)
+}
+`)
+	got, err := audit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !strings.Contains(got[0], "NewSession") {
+		t.Fatalf("audit = %v, want one NewSession violation", got)
+	}
+}
+
+func TestAuditExemptsDeprecatedFiles(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "deprecated.go", `package protoobf
+
+func NewSession(a, b any) (any, error) { return NewSessionWith(a, b) }
+func NewSessionWith(a, b any) (any, error) { return nil, nil }
+`)
+	write(t, dir, "deprecated_test.go", `package protoobf_test
+
+import "protoobf"
+
+func use() { _, _, _ = protoobf.DialSession("x", nil) }
+`)
+	got, err := audit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("audit flagged exempt files: %v", got)
+	}
+}
+
+func TestAuditIgnoresOtherPackagesBareNames(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "other/thing.go", `package other
+
+func NewSession() {}
+func use() { NewSession() }
+`)
+	got, err := audit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("audit flagged an unrelated package's NewSession: %v", got)
+	}
+}
+
+// TestRepoIsClean runs the audit over this repository itself — the same
+// invocation CI uses.
+func TestRepoIsClean(t *testing.T) {
+	got, err := audit("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("repository calls deprecated constructors outside deprecated files:\n%s",
+			strings.Join(got, "\n"))
+	}
+}

@@ -11,6 +11,8 @@
 //	protoobf-bench -resilience                         # §VII-D
 //	protoobf-bench -ablation -protocol modbus          # per-transformation study
 //	protoobf-bench -session -epochs 64 -rekey-every 8  # scheduled-rotation session workload
+//	protoobf-bench -endpoint -sessions 64 -epochs 16   # many sessions, one dialect family
+//	protoobf-bench -endpoint -shards 1                 # same, on the single-mutex cache geometry
 //	protoobf-bench -all                                # everything, default sizes
 package main
 
@@ -41,12 +43,32 @@ func run(args []string) error {
 	calibrate := fs.Float64("calibrate", 0, "search the per-node level whose residual PRE score falls below this target (e.g. 0.2)")
 	ablation := fs.Bool("ablation", false, "run the per-transformation ablation study")
 	sessionWL := fs.Bool("session", false, "run the scheduled-rotation session workload")
-	epochs := fs.Int("epochs", 32, "scheduled rotations to cross in the session workload")
-	rekeyEvery := fs.Uint64("rekey-every", 0, "propose an in-band rekey every N epochs in the session workload (0 = never)")
-	window := fs.Int("window", 0, "dialect cache window for the session workload (0 = defaults)")
+	endpointWL := fs.Bool("endpoint", false, "run the many-sessions-one-family endpoint workload")
+	sessions := fs.Int("sessions", 16, "concurrent session pairs in the endpoint workload")
+	shards := fs.Int("shards", 0, "version-cache lock shards in the endpoint workload (0 = default, 1 = single mutex)")
+	epochs := fs.Int("epochs", 32, "scheduled rotations to cross in the session workloads")
+	rekeyEvery := fs.Uint64("rekey-every", 0, "propose an in-band rekey every N epochs in the session workloads (0 = never)")
+	window := fs.Int("window", 0, "dialect cache window for the session workloads (0 = defaults)")
 	all := fs.Bool("all", false, "run every experiment for both protocols")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *endpointWL {
+		res, err := bench.RunEndpoint(bench.EndpointConfig{
+			Sessions:     *sessions,
+			Epochs:       *epochs,
+			MsgsPerEpoch: *msgs,
+			RekeyEvery:   *rekeyEvery,
+			Seed:         *seed,
+			Window:       *window,
+			Shards:       *shards,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
+		return nil
 	}
 
 	if *sessionWL {

@@ -31,6 +31,12 @@ func TestRunSessionWorkload(t *testing.T) {
 	}
 }
 
+func TestRunEndpointWorkload(t *testing.T) {
+	if err := run([]string{"-endpoint", "-sessions", "4", "-epochs", "3", "-msgs", "4", "-rekey-every", "2", "-window", "16", "-shards", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Error("no action accepted")

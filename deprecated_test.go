@@ -1,0 +1,249 @@
+// Tests and examples of the deprecated constructors. They live in this
+// file — and only here — because cmd/deprecheck exempts *deprecated*
+// files from the audit that keeps the rest of the repository off the
+// legacy API. The acceptance bar for the wrappers is that they keep
+// passing the tests they always passed.
+package protoobf_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"protoobf"
+)
+
+// ExampleNewSessionPair round-trips a message between two in-memory
+// session peers and rotates the dialect mid-session.
+func ExampleNewSessionPair() {
+	spec := `
+protocol ping;
+root seq msg end {
+    uint  seqno 4;
+    bytes note end;
+}`
+	a, b, err := protoobf.NewSessionPair(spec, protoobf.Options{PerNode: 2, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	for round := uint64(0); round < 2; round++ {
+		m, err := a.NewMessage()
+		if err != nil {
+			panic(err)
+		}
+		if err := m.Scope().SetUint("seqno", 100+round); err != nil {
+			panic(err)
+		}
+		if err := m.Scope().SetString("note", "hello"); err != nil {
+			panic(err)
+		}
+		if err := a.Send(m); err != nil {
+			panic(err)
+		}
+		got, err := b.Recv()
+		if err != nil {
+			panic(err)
+		}
+		seqno, _ := got.Scope().GetUint("seqno")
+		fmt.Printf("epoch %d delivered seqno %d\n", b.Epoch(), seqno)
+		if _, err := a.Rotate(); err != nil { // B follows on its next Recv
+			panic(err)
+		}
+	}
+	// Output:
+	// epoch 0 delivered seqno 100
+	// epoch 1 delivered seqno 101
+}
+
+// ExampleNewSessionPairWith runs the full control plane in memory: a
+// shared wall-clock schedule (driven by a fake clock here) rotates the
+// dialect, and both peers converge without any in-band coordination.
+func ExampleNewSessionPairWith() {
+	spec := `
+protocol ping;
+root seq msg end {
+    uint  seqno 4;
+    bytes note end;
+}`
+	genesis := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	now := genesis
+	schedule := protoobf.NewSchedule(genesis, time.Hour).WithClock(func() time.Time { return now })
+	a, b, err := protoobf.NewSessionPairWith(spec,
+		protoobf.Options{PerNode: 2, Seed: 7},
+		protoobf.SessionOptions{Schedule: schedule, CacheWindow: 4})
+	if err != nil {
+		panic(err)
+	}
+	for round := uint64(0); round < 3; round++ {
+		m, err := a.NewMessage() // adopts the schedule's epoch
+		if err != nil {
+			panic(err)
+		}
+		if err := m.Scope().SetUint("seqno", round); err != nil {
+			panic(err)
+		}
+		if err := m.Scope().SetString("note", "tick"); err != nil {
+			panic(err)
+		}
+		if err := a.Send(m); err != nil {
+			panic(err)
+		}
+		if _, err := b.Recv(); err != nil {
+			panic(err)
+		}
+		fmt.Printf("round %d at epoch %d\n", round, b.Epoch())
+		now = now.Add(time.Hour) // wall clock advances for both peers
+	}
+	// Output:
+	// round 0 at epoch 0
+	// round 1 at epoch 1
+	// round 2 at epoch 2
+}
+
+// TestSessionPairRotation drives the deprecated pair constructor: two
+// in-memory peers exchange a message per epoch across three rotations,
+// each frame decoded with the dialect its epoch header names.
+func TestSessionPairRotation(t *testing.T) {
+	a, b, err := protoobf.NewSessionPair(ticketSpec, protoobf.Options{PerNode: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := uint64(0); epoch < 4; epoch++ {
+		m, err := a.NewMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := m.Scope()
+		if err := s.SetUint("version", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetUint("kind", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetString("user", "ada"); err != nil {
+			t.Fatal(err)
+		}
+		item, err := s.Add("seats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := item.SetUint("seat", 100+epoch); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		items, err := got.Scope().Items("seats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seat, err := items[0].GetUint("seat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seat != 100+epoch {
+			t.Fatalf("epoch %d: seat = %d, want %d", epoch, seat, 100+epoch)
+		}
+		if got := b.Epoch(); got != epoch {
+			t.Fatalf("receiver epoch = %d, want %d", got, epoch)
+		}
+		if epoch < 3 {
+			if _, err := a.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestSharedRekeyRefused pins the runtime enforcement of what used to be
+// only a doc warning: sharing a rekey-enabled Rotation across sessions
+// is a typed error, in every ordering.
+func TestSharedRekeyRefused(t *testing.T) {
+	spec := `
+protocol ping;
+root seq msg end {
+    uint  seqno 4;
+    bytes note end;
+}`
+	opts := protoobf.Options{PerNode: 1, Seed: 3}
+
+	// Rekey session first, then any second session.
+	rot, err := protoobf.NewRotation(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw1, _ := protoobf.Pipe()
+	if _, err := protoobf.NewSessionWith(rw1, rot, protoobf.SessionOptions{RekeyEvery: 4}); err != nil {
+		t.Fatal(err)
+	}
+	rw2, _ := protoobf.Pipe()
+	if _, err := protoobf.NewSession(rw2, rot); !errors.Is(err, protoobf.ErrSharedRekey) {
+		t.Fatalf("second session on rekey-owned rotation: err = %v, want ErrSharedRekey", err)
+	}
+
+	// Plain session first, then a rekey session on the shared rotation.
+	rot2, err := protoobf.NewRotation(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw3, _ := protoobf.Pipe()
+	if _, err := protoobf.NewSession(rw3, rot2); err != nil {
+		t.Fatal(err)
+	}
+	rw4, _ := protoobf.Pipe()
+	_, err = protoobf.NewSessionWith(rw4, rot2, protoobf.SessionOptions{RekeyEvery: 4})
+	if !errors.Is(err, protoobf.ErrSharedRekey) {
+		t.Fatalf("rekey session on shared rotation: err = %v, want ErrSharedRekey", err)
+	}
+
+	// Plain sessions keep sharing freely.
+	rw5, _ := protoobf.Pipe()
+	if _, err := protoobf.NewSession(rw5, rot2); err != nil {
+		t.Fatalf("plain sharing broke: %v", err)
+	}
+}
+
+// TestFailedConstructionLeavesRotationUntouched pins the satellite fix:
+// NewSessionWith must not mutate the caller's Rotation (its cache bound)
+// when session construction fails.
+func TestFailedConstructionLeavesRotationUntouched(t *testing.T) {
+	spec := `
+protocol ping;
+root seq msg end {
+    uint  seqno 4;
+    bytes note end;
+}`
+	rot, err := protoobf.NewRotation(spec, protoobf.Options{PerNode: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime more cached versions than the tiny window below would keep.
+	for e := uint64(0); e < 6; e++ {
+		if _, err := rot.Version(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := rot.CacheLen()
+
+	// Claim the rotation with a rekey session, then fail a second
+	// construction that also asks for a tiny CacheWindow. The failure
+	// must leave the rotation's cache exactly as it was.
+	rw1, _ := protoobf.Pipe()
+	if _, err := protoobf.NewSessionWith(rw1, rot, protoobf.SessionOptions{RekeyEvery: 4}); err != nil {
+		t.Fatal(err)
+	}
+	grown := rot.CacheLen() // session construction may cache epoch 0
+	rw2, _ := protoobf.Pipe()
+	_, err = protoobf.NewSessionWith(rw2, rot, protoobf.SessionOptions{CacheWindow: 1})
+	if !errors.Is(err, protoobf.ErrSharedRekey) {
+		t.Fatalf("err = %v, want ErrSharedRekey", err)
+	}
+	if after := rot.CacheLen(); after != grown || after < before {
+		t.Fatalf("failed construction re-bounded the caller's rotation: cache %d -> %d", grown, after)
+	}
+}

@@ -1,0 +1,249 @@
+package protoobf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"protoobf/internal/core"
+	"protoobf/internal/session"
+)
+
+// Endpoint is the share-safe entry point for a dialect family: it
+// compiles the family once (one Rotation with a sharded compiled-version
+// cache) and mints any number of concurrent sessions from it — over
+// streams the caller owns (Session), over dialed connections (Dial), or
+// from an accept loop (Listen). This is the paper's §VIII deployment
+// shape: one compiled family serving many peers, every peer re-deriving
+// each epoch's dialect independently.
+//
+// Sessions of one Endpoint share compiled dialects but never rekey
+// state: each session resolves epochs through its own rekey view, so an
+// in-band rekey negotiated on one connection (WithRekeyEvery or
+// Session.Rekey) switches only that connection's family. This is what
+// the deprecated per-session constructors could not offer — they bound
+// rekey state to the shared Rotation itself.
+//
+// An Endpoint is safe for concurrent use.
+type Endpoint struct {
+	rot  *core.Rotation
+	base settings
+}
+
+// settings carries the control-plane configuration shared by endpoint
+// and session construction. Option values layer: endpoint options set
+// the defaults, per-session options override them.
+type settings struct {
+	schedule      *Schedule
+	rekeyEvery    *uint64
+	cacheWindow   *int
+	static        *Protocol
+	versionWindow int
+	versionShards int
+}
+
+// Option is a functional option accepted by both NewEndpoint and
+// Endpoint.Session (and the session-minting Dial/Listen): options given
+// at endpoint construction become the default for every session, and
+// options given per session override them for that session only.
+type Option func(*settings)
+
+// EndpointOption documents an Option in endpoint position.
+type EndpointOption = Option
+
+// SessionOption documents an Option in session position.
+type SessionOption = Option
+
+// WithSchedule derives the session epoch from coarse wall-clock time:
+// sessions adopt the schedule's epoch on every NewMessage/Recv, so all
+// peers sharing (genesis, interval) converge on the same dialect with no
+// coordination, even across partitions. A nil schedule (the default)
+// means epochs move only via Rotate/Advance or by following the peer.
+func WithSchedule(s *Schedule) Option {
+	return func(cfg *settings) { cfg.schedule = s }
+}
+
+// WithRekeyEvery proposes an in-band rekey — a fresh master seed for the
+// dialect family, exchanged as a masked control frame and acknowledged
+// before either side uses it — every n epochs. n = 0 (the default)
+// disables automatic rekeying. Each session rekeys its own view of the
+// family, so the option is safe on endpoints serving many sessions.
+func WithRekeyEvery(n uint64) Option {
+	return func(cfg *settings) { cfg.rekeyEvery = &n }
+}
+
+// WithCacheWindow bounds how many compiled dialect epochs each session
+// keeps: 0 means the default (session.DefaultCacheWindow), negative
+// means unbounded. Evicted epochs recompile deterministically on
+// demand — usually a hit in the endpoint's shared version cache — so the
+// window keeps long-lived sessions at O(window) memory. For the shared
+// version cache itself see WithVersionCache.
+func WithCacheWindow(n int) Option {
+	return func(cfg *settings) { cfg.cacheWindow = &n }
+}
+
+// WithStaticProtocol pins sessions to a single fixed protocol in every
+// epoch: session framing without dialect rotation. On NewEndpoint it
+// makes the whole endpoint static (the spec and options arguments are
+// ignored and no Rotation is compiled); on Endpoint.Session it pins just
+// that session. Static sessions refuse to rekey.
+func WithStaticProtocol(p *Protocol) Option {
+	return func(cfg *settings) { cfg.static = p }
+}
+
+// WithVersionCache sizes the endpoint's shared compiled-version cache:
+// window bounds the total number of cached versions across all sessions
+// and families (0 means the default, negative means unbounded), and
+// shards picks the lock-shard count (0 means the default; 1 degenerates
+// to a single-mutex cache). Endpoint-level only; sessions bound their
+// private dialect windows with WithCacheWindow.
+func WithVersionCache(window, shards int) Option {
+	return func(cfg *settings) {
+		cfg.versionWindow = window
+		cfg.versionShards = shards
+	}
+}
+
+// NewEndpoint compiles the dialect family of (spec, opts) once and
+// returns the endpoint that mints its sessions. Endpoint options become
+// the default control-plane configuration of every session; each can be
+// overridden per session.
+func NewEndpoint(spec string, opts Options, o ...EndpointOption) (*Endpoint, error) {
+	ep := &Endpoint{}
+	for _, fn := range o {
+		fn(&ep.base)
+	}
+	if ep.base.static == nil {
+		rot, err := core.NewRotationCache(spec, opts, ep.base.versionWindow, ep.base.versionShards)
+		if err != nil {
+			return nil, err
+		}
+		ep.rot = rot
+	}
+	return ep, nil
+}
+
+// Session opens a session over rw speaking the endpoint's dialect
+// family, with the endpoint's control-plane defaults overridden by any
+// per-session options. The stream stays owned by the caller unless the
+// caller uses Session.Close, which closes rw when it implements
+// io.Closer.
+func (ep *Endpoint) Session(rw io.ReadWriter, o ...SessionOption) (*Session, error) {
+	cfg := ep.base
+	for _, fn := range o {
+		fn(&cfg)
+	}
+	if cfg.versionWindow != ep.base.versionWindow || cfg.versionShards != ep.base.versionShards {
+		return nil, errors.New("protoobf: WithVersionCache is endpoint-level; pass it to NewEndpoint")
+	}
+	var versions session.Versioner
+	switch {
+	case cfg.static != nil:
+		versions = session.Fixed(cfg.static.Graph)
+	case ep.rot == nil:
+		// A static endpoint whose per-session options cleared the
+		// static protocol: there is no family to fall back to.
+		return nil, errors.New("protoobf: static endpoint has no dialect family; sessions need WithStaticProtocol")
+	default:
+		versions = ep.rot.View()
+	}
+	var sopts session.Options
+	sopts.Schedule = cfg.schedule
+	if cfg.rekeyEvery != nil {
+		sopts.RekeyEvery = *cfg.rekeyEvery
+	}
+	if cfg.cacheWindow != nil {
+		sopts.CacheWindow = *cfg.cacheWindow
+	}
+	return session.NewConnOpts(rw, versions, sopts)
+}
+
+// Dial connects to addr on the named network (see net.Dial) and opens a
+// session speaking the endpoint's dialect family over the connection.
+// The returned session owns the connection: Session.Close closes it.
+func (ep *Endpoint) Dial(ctx context.Context, network, addr string, o ...SessionOption) (*Session, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ep.Session(conn, o...)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("protoobf: dial %s: %w", addr, err)
+	}
+	return s, nil
+}
+
+// Listen announces on the local network address (see net.Listen) and
+// returns an acceptor whose Accept yields ready sessions of this
+// endpoint. Per-session options given here apply to every accepted
+// session.
+func (ep *Endpoint) Listen(network, addr string, o ...SessionOption) (*Listener, error) {
+	l, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{l: l, ep: ep, opts: o}, nil
+}
+
+// Version returns the compiled protocol of the given epoch under the
+// endpoint's base family — what a rotation daemon pre-compiling the next
+// epoch ahead of its boundary calls, and the shared lookup every session
+// of the endpoint resolves through. For a static endpoint every epoch
+// returns the pinned protocol.
+func (ep *Endpoint) Version(epoch uint64) (*Protocol, error) {
+	if ep.base.static != nil {
+		return ep.base.static, nil
+	}
+	return ep.rot.Version(epoch)
+}
+
+// Rotation exposes the endpoint's shared dialect family for inspection
+// (cache introspection, direct Version access). It is nil for static
+// endpoints. Mutating it via deprecated single-owner paths while
+// sessions are live defeats the endpoint's sharing guarantees.
+func (ep *Endpoint) Rotation() *Rotation { return ep.rot }
+
+// Listener accepts ready sessions of one Endpoint. It is a thin wrapper
+// over the net.Listener it was created from, which remains reachable via
+// Addr/Close semantics identical to net's.
+type Listener struct {
+	l    net.Listener
+	ep   *Endpoint
+	opts []SessionOption
+}
+
+// Accept waits for the next connection and returns a ready session over
+// it. The session owns the accepted connection (Session.Close closes
+// it). Errors from the underlying accept are returned as-is — a closed
+// listener surfaces net.ErrClosed — while a session-construction failure
+// on one connection closes that connection and is returned wrapped;
+// accept loops that should survive a bad peer can check with
+// errors.Is(err, ErrSessionSetup) and continue.
+func (l *Listener) Accept() (*Session, error) {
+	conn, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	s, err := l.ep.Session(conn, l.opts...)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %w", ErrSessionSetup, err)
+	}
+	return s, nil
+}
+
+// ErrSessionSetup wraps per-connection session construction failures
+// surfaced by Listener.Accept, distinguishing them from listener-fatal
+// accept errors.
+var ErrSessionSetup = errors.New("protoobf: session setup failed")
+
+// Close closes the underlying listener; blocked Accept calls return
+// net.ErrClosed.
+func (l *Listener) Close() error { return l.l.Close() }
+
+// Addr returns the listener's network address.
+func (l *Listener) Addr() net.Addr { return l.l.Addr() }

@@ -32,20 +32,21 @@ const epochs = 4 // epoch 0 plus three mid-session rotations
 func main() {
 	opts := protoobf.Options{PerNode: 2, Seed: 0xC0FFEE}
 
-	// Peer A and peer B configured identically at deployment: each owns
-	// an independent Rotation built from the same (spec, options).
-	rotA, err := protoobf.NewRotation(spec, opts)
+	// Peer A and peer B configured identically at deployment: each
+	// compiles the same (spec, options) into its own Endpoint — the one
+	// entry point a real deployment keeps for its whole session fleet.
+	epA, err := protoobf.NewEndpoint(spec, opts)
 	check(err)
-	rotB, err := protoobf.NewRotation(spec, opts)
+	epB, err := protoobf.NewEndpoint(spec, opts)
 	check(err)
 
 	connA, connB := net.Pipe()
 	defer connA.Close()
 	defer connB.Close()
 
-	a, err := protoobf.NewSession(connA, rotA)
+	a, err := epA.Session(connA)
 	check(err)
-	b, err := protoobf.NewSession(connB, rotB)
+	b, err := epB.Session(connB)
 	check(err)
 
 	// Peer B: decode every beacon with the dialect its frame names, and
@@ -82,7 +83,7 @@ func main() {
 
 	seqno := uint64(0)
 	for epoch := uint64(0); epoch < epochs; epoch++ {
-		proto, err := rotA.Version(epoch)
+		proto, err := epA.Version(epoch)
 		check(err)
 		fmt.Printf("epoch %d: dialect with %d transformations\n", epoch, len(proto.Applied))
 

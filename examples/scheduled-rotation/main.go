@@ -41,12 +41,22 @@ func main() {
 	clock := func() time.Time { return now }
 	schedule := protoobf.NewSchedule(genesis, interval).WithClock(clock)
 
-	sopts := protoobf.SessionOptions{
-		Schedule:    schedule,
-		RekeyEvery:  3, // swap the seed family every 3 epochs, in-band
-		CacheWindow: 4, // keep at most 4 compiled dialects per side
+	// Each peer compiles the family once into an Endpoint; the control
+	// plane is functional options shared by endpoint and session
+	// construction.
+	copts := []protoobf.EndpointOption{
+		protoobf.WithSchedule(schedule),
+		protoobf.WithRekeyEvery(3),  // swap the seed family every 3 epochs, in-band
+		protoobf.WithCacheWindow(4), // keep at most 4 compiled dialects per session
 	}
-	a, b, err := protoobf.NewSessionPairWith(spec, opts, sopts)
+	epA, err := protoobf.NewEndpoint(spec, opts, copts...)
+	check(err)
+	epB, err := protoobf.NewEndpoint(spec, opts, copts...)
+	check(err)
+	connA, connB := protoobf.Pipe()
+	a, err := epA.Session(connA)
+	check(err)
+	b, err := epB.Session(connB)
 	check(err)
 
 	send := func(from, to *protoobf.Session, seqno uint64, status string) {
@@ -83,8 +93,8 @@ func main() {
 	now = now.Add(200 * interval)
 	seqno++
 	send(a, b, seqno, "back")
-	fmt.Printf("recovered at epoch %d; dialect caches stay bounded at %d epochs per side\n",
-		a.Epoch(), sopts.CacheWindow)
+	fmt.Printf("recovered at epoch %d; dialect caches stay bounded at 4 epochs per session\n",
+		a.Epoch())
 
 	fmt.Printf("\nexchanged %d beacons across %d scheduled epochs over one connection\n",
 		seqno, a.Epoch()+1)

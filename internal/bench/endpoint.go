@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"protoobf/internal/core"
+	"protoobf/internal/session"
+	"protoobf/internal/session/sched"
+)
+
+// EndpointConfig parameterizes the many-sessions-one-family workload:
+// one server-side Rotation (sharded compiled-version cache) serves N
+// concurrent session pairs through per-session rekey views, a fake wall
+// clock drives a shared epoch schedule, and every pair ping-pongs
+// messages in its own goroutine. The run measures aggregate throughput
+// including the shared dialect fetches at every rotation — the workload
+// the Endpoint API redesign exists for.
+type EndpointConfig struct {
+	// Sessions is the number of concurrent session pairs sharing the two
+	// rotations (default 16).
+	Sessions int
+	// Epochs is the number of scheduled rotations to cross (default 8).
+	Epochs int
+	// MsgsPerEpoch is the number of round trips per session per epoch
+	// (default 16).
+	MsgsPerEpoch int
+	// RekeyEvery proposes an in-band rekey every N epochs on every pair
+	// (0 = never). Pairs rekey independently via their views.
+	RekeyEvery uint64
+	// PerNode is the obfuscation level (default 2).
+	PerNode int
+	// Seed is the campaign seed.
+	Seed int64
+	// Window bounds the shared compiled-version caches (0 = default).
+	Window int
+	// Shards picks the version-cache lock-shard count (0 = default,
+	// 1 = the single-mutex pre-sharding geometry, for comparison runs).
+	Shards int
+}
+
+// EndpointResult is the measured outcome of one endpoint workload run.
+type EndpointResult struct {
+	Config     EndpointConfig
+	Msgs       int           // round trips completed across all sessions
+	Elapsed    time.Duration // wall time for the whole run
+	MsgsPerSec float64       // messages (not round trips) per second
+	Rekeys     int64         // rekey proposals drawn during the run
+	CacheSrv   int           // versions cached by the server rotation
+	CacheCli   int           // versions cached by the client rotation
+}
+
+// RunEndpoint drives the many-sessions-one-family workload.
+func RunEndpoint(cfg EndpointConfig) (*EndpointResult, error) {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 16
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 8
+	}
+	if cfg.MsgsPerEpoch <= 0 {
+		cfg.MsgsPerEpoch = 16
+	}
+	if cfg.PerNode <= 0 {
+		cfg.PerNode = 2
+	}
+	opts := core.ObfuscationOptions{PerNode: cfg.PerNode, Seed: cfg.Seed}
+	rotSrv, err := core.NewRotationCache(sessionSpec, opts, cfg.Window, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	rotCli, err := core.NewRotationCache(sessionSpec, opts, cfg.Window, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+
+	genesis := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	interval := time.Minute
+	clock := sched.NewFakeClock(genesis)
+	schedule := sched.New(genesis, interval).WithClock(clock.Now)
+
+	var rekeys atomic.Int64
+	seedSource := func() int64 { return 0x5EED0 + rekeys.Add(1) }
+
+	o := session.Options{
+		Schedule:   schedule,
+		RekeyEvery: cfg.RekeyEvery,
+		SeedSource: seedSource,
+	}
+	type pair struct{ cli, srv *session.Conn }
+	pairs := make([]pair, cfg.Sessions)
+	for i := range pairs {
+		ca, cb := session.NewDuplex()
+		cli, err := session.NewConnOpts(ca, rotCli.View(), o)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := session.NewConnOpts(cb, rotSrv.View(), o)
+		if err != nil {
+			return nil, err
+		}
+		pairs[i] = pair{cli: cli, srv: srv}
+	}
+	defer func() {
+		for _, p := range pairs {
+			p.cli.Release()
+			p.srv.Release()
+		}
+	}()
+
+	start := time.Now()
+	trips := 0
+	var firstErr error
+	var errMu sync.Mutex
+	for e := 0; e < cfg.Epochs; e++ {
+		var wg sync.WaitGroup
+		for i := range pairs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				p := pairs[i]
+				for m := 0; m < cfg.MsgsPerEpoch; m++ {
+					if err := sessionTrip(p.cli, p.srv, uint64(e*cfg.MsgsPerEpoch+m)); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("session %d epoch %d trip %d: %w", i, e, m, err)
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		trips += cfg.Sessions * cfg.MsgsPerEpoch
+		clock.Advance(interval)
+	}
+	elapsed := time.Since(start)
+
+	return &EndpointResult{
+		Config:     cfg,
+		Msgs:       trips,
+		Elapsed:    elapsed,
+		MsgsPerSec: float64(2*trips) / elapsed.Seconds(),
+		Rekeys:     rekeys.Load(),
+		CacheSrv:   rotSrv.CacheLen(),
+		CacheCli:   rotCli.CacheLen(),
+	}, nil
+}
+
+// Table renders the endpoint workload result.
+func (r *EndpointResult) Table() string {
+	shards := "default"
+	if r.Config.Shards > 0 {
+		shards = fmt.Sprintf("%d", r.Config.Shards)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "endpoint workload: many sessions, one dialect family (perNode=%d, seed=%d)\n",
+		r.Config.PerNode, r.Config.Seed)
+	fmt.Fprintf(&sb, "  concurrent sessions %d (sharing one rotation per side, shards=%s)\n",
+		r.Config.Sessions, shards)
+	fmt.Fprintf(&sb, "  epochs crossed      %d\n", r.Config.Epochs)
+	fmt.Fprintf(&sb, "  round trips         %d (%d messages)\n", r.Msgs, 2*r.Msgs)
+	fmt.Fprintf(&sb, "  elapsed             %v\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "  throughput          %.0f msgs/s (incl. shared dialect fetches at rotations)\n", r.MsgsPerSec)
+	fmt.Fprintf(&sb, "  rekeys proposed     %d (RekeyEvery=%d, per-session views)\n", r.Rekeys, r.Config.RekeyEvery)
+	fmt.Fprintf(&sb, "  versions cached     server=%d client=%d (window=%d)\n", r.CacheSrv, r.CacheCli, r.Config.Window)
+	return sb.String()
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -18,6 +19,15 @@ import (
 // O(epochs) memory on long-lived rotations.
 const DefaultVersionWindow = 64
 
+// ErrSharedRekey reports an attempt to share one Rotation across
+// sessions when in-band rekeying is in play. A rekey negotiated on one
+// session switches the seed family under every other session using the
+// same rekey state, silently desynchronizing them from their peers; the
+// public constructors refuse the combination instead. Sessions minted
+// from an Endpoint are exempt: each holds its own rekey View, so they
+// share compiled versions without sharing rekey state.
+var ErrSharedRekey = errors.New("protoobf: a rekey-enabled Rotation cannot be shared across sessions (use an Endpoint, whose sessions rekey independently)")
+
 // Rotation implements the deployment model sketched in the paper's
 // conclusion: "new obfuscated versions of the protocol can be easily
 // generated [...] The deployment of new versions, at regular intervals,
@@ -30,18 +40,57 @@ const DefaultVersionWindow = 64
 // counter — in deployment derived from coarse wall-clock time by
 // internal/session/sched.
 //
-// The seed family itself can change at run time: Rekey records that all
-// epochs from a given point onward derive from a fresh master seed, the
-// in-band rekey handshake of internal/session. Past epochs keep deriving
-// from the family that was active when they were current, so frames in
-// flight across a rekey still decode.
+// A Rotation is the shared, compile-once half of the model: one process
+// serving many concurrent sessions of the same dialect family keeps a
+// single Rotation, whose compiled-version cache is sharded and keyed by
+// (family seed, epoch) so hundreds of sessions hitting it do not
+// serialize on one mutex. The mutable half — the rekey points recording
+// that epochs from some boundary onward derive from a fresh master
+// seed — lives in a View: every session takes its own View, so in-band
+// rekeys negotiated on one session never touch another. The Rotation's
+// own Rekey/DropRekey/ControlPad methods operate on a built-in default
+// view, preserving the original single-owner behavior for code that
+// uses a Rotation directly as a session Versioner.
 type Rotation struct {
 	source string
 	opts   ObfuscationOptions
 
-	mu     sync.Mutex
-	cache  *lru.Cache[uint64, *Protocol]
-	rekeys []rekeyPoint // ascending by from
+	cache *lru.Sharded[versionKey, *Protocol]
+
+	// flight deduplicates concurrent compiles of the same version: at an
+	// epoch boundary every session of the family misses the cache at
+	// once, and without dedup each would burn a full compile.
+	flightMu sync.Mutex
+	flight   map[versionKey]*flightCall
+
+	// self is the default view behind the Rotation's own Versioner
+	// methods (legacy single-owner use).
+	self View
+
+	// Share accounting for the deprecated public constructors: a
+	// rekey-enabled session must own its Rotation exclusively because it
+	// rekeys the default view. Endpoint sessions use independent views
+	// and never attach.
+	shareMu       sync.Mutex
+	attached      int
+	rekeyAttached bool
+}
+
+// versionKey names one compiled protocol version: the master seed of
+// the family active at the epoch, and the epoch itself. Keying the
+// cache by family makes rekeying a pure metadata change — a rekeyed
+// view simply starts asking for the new family's versions, while other
+// views of the same Rotation keep hitting the old family's entries.
+type versionKey struct {
+	family int64
+	epoch  uint64
+}
+
+// flightCall is one in-progress compile; latecomers wait on done.
+type flightCall struct {
+	done chan struct{}
+	p    *Protocol
+	err  error
 }
 
 // rekeyPoint switches the master seed for epochs >= from.
@@ -55,6 +104,20 @@ type rekeyPoint struct {
 // the initial master seed; opts.PerNode/Only/Exclude apply to every
 // version.
 func NewRotation(source string, opts ObfuscationOptions) (*Rotation, error) {
+	return NewRotationCache(source, opts, 0, 0)
+}
+
+// NewRotationCache is NewRotation with an explicit compiled-version
+// cache geometry: window bounds the total number of cached versions
+// (0 means DefaultVersionWindow, negative means unbounded) and shards
+// picks the lock-shard count (0 means lru.DefaultShards; 1 degenerates
+// to a single-mutex cache, the pre-sharding behavior).
+func NewRotationCache(source string, opts ObfuscationOptions, window, shards int) (*Rotation, error) {
+	if window == 0 {
+		window = DefaultVersionWindow
+	} else if window < 0 {
+		window = 0 // lru: unbounded
+	}
 	// Compile epoch 0 eagerly so configuration errors surface here.
 	probe := opts
 	probe.Seed = deriveSeed(opts.Seed, 0)
@@ -65,97 +128,216 @@ func NewRotation(source string, opts ObfuscationOptions) (*Rotation, error) {
 	r := &Rotation{
 		source: source,
 		opts:   opts,
-		cache:  lru.New[uint64, *Protocol](DefaultVersionWindow, nil),
+		cache: lru.NewSharded[versionKey, *Protocol](shards, window, func(k versionKey) uint64 {
+			return lru.Mix64(uint64(k.family) ^ lru.Mix64(k.epoch+1))
+		}, nil),
 	}
-	r.cache.Put(0, p)
+	r.self.rot = r
+	r.cache.Put(versionKey{family: opts.Seed, epoch: 0}, p)
 	return r, nil
 }
 
-// Bound re-bounds the compiled-version cache to at most window epochs,
-// evicting the least recently used versions immediately. A window <= 0
-// removes the bound.
-func (r *Rotation) Bound(window int) {
-	r.mu.Lock()
-	r.cache.SetCap(window)
-	r.mu.Unlock()
+// View mints an independent rekey view of the dialect family. All views
+// of one Rotation share the compiled-version cache (and its compile
+// deduplication) but each records its own rekey points, so concurrent
+// sessions rekey with their respective peers without interfering. A
+// fresh view starts on the base family with no rekey points.
+func (r *Rotation) View() *View {
+	return &View{rot: r}
 }
 
-// CacheLen returns the number of compiled versions currently cached.
+// Attach records a public-API session binding to this Rotation,
+// enforcing the sharing rule: any number of non-rekeying sessions may
+// share a Rotation, but a rekey-enabled session must be its only
+// session ever. It returns ErrSharedRekey on violation. Detach undoes a
+// successful Attach whose session construction subsequently failed.
+func (r *Rotation) Attach(rekey bool) error {
+	r.shareMu.Lock()
+	defer r.shareMu.Unlock()
+	if r.rekeyAttached || (rekey && r.attached > 0) {
+		return ErrSharedRekey
+	}
+	if rekey {
+		r.rekeyAttached = true
+	}
+	r.attached++
+	return nil
+}
+
+// Detach rolls back an Attach (see Attach).
+func (r *Rotation) Detach(rekey bool) {
+	r.shareMu.Lock()
+	defer r.shareMu.Unlock()
+	r.attached--
+	if rekey {
+		r.rekeyAttached = false
+	}
+}
+
+// Bound re-bounds the compiled-version cache to at most window versions
+// in total, evicting the least recently used versions immediately. A
+// window <= 0 removes the bound.
+func (r *Rotation) Bound(window int) {
+	r.cache.SetCap(window)
+}
+
+// CacheLen returns the number of compiled versions currently cached,
+// across every family and shard.
 func (r *Rotation) CacheLen() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	return r.cache.Len()
 }
 
-// Version returns the protocol of the given epoch, compiling it on first
-// use (or again after eviction). The same epoch always yields the same
-// transformed graph on every peer that shares the rotation's history of
-// (spec, options, rekey points).
+// Version returns the protocol of the given epoch under the Rotation's
+// default view, compiling it on first use (or again after eviction).
+// The same epoch always yields the same transformed graph on every peer
+// that shares the rotation's history of (spec, options, rekey points).
 func (r *Rotation) Version(epoch uint64) (*Protocol, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if p, ok := r.cache.Get(epoch); ok {
-		return p, nil
-	}
-	opts := r.opts
-	opts.Seed = deriveSeed(r.familySeed(epoch), epoch)
-	p, err := Compile(r.source, opts)
-	if err != nil {
-		return nil, fmt.Errorf("rotation epoch %d: %w", epoch, err)
-	}
-	r.cache.Put(epoch, p)
-	return p, nil
+	return r.self.Version(epoch)
 }
 
-// Graph returns the transformed message-format graph of the given epoch.
-// It is the session transport's Versioner interface (internal/session
-// sits below this package and traffics in graphs, not Protocols).
+// Graph returns the transformed message-format graph of the given epoch
+// under the default view. It is the session transport's Versioner
+// interface (internal/session sits below this package and traffics in
+// graphs, not Protocols).
 func (r *Rotation) Graph(epoch uint64) (*graph.Graph, error) {
-	p, err := r.Version(epoch)
+	return r.self.Graph(epoch)
+}
+
+// Rekey switches the default view's master seed for every epoch >=
+// from. See View.Rekey; sessions that share a Rotation must not use
+// this (the public constructors enforce it via Attach).
+func (r *Rotation) Rekey(from uint64, seed int64) error {
+	return r.self.Rekey(from, seed)
+}
+
+// DropRekey removes the default view's most recent rekey point if it
+// matches (from, seed) exactly. See View.DropRekey.
+func (r *Rotation) DropRekey(from uint64, seed int64) error {
+	return r.self.DropRekey(from, seed)
+}
+
+// ControlPad derives the default view's control-frame masking pad. See
+// View.ControlPad.
+func (r *Rotation) ControlPad(epoch uint64, n int) []byte {
+	return r.self.ControlPad(epoch, n)
+}
+
+// versionFor returns the compiled version of (family, epoch), serving
+// it from the sharded cache when present. Misses compile outside any
+// cache lock; concurrent misses of the same key share one compile.
+func (r *Rotation) versionFor(family int64, epoch uint64) (*Protocol, error) {
+	k := versionKey{family: family, epoch: epoch}
+	if p, ok := r.cache.Get(k); ok {
+		return p, nil
+	}
+	r.flightMu.Lock()
+	if c, ok := r.flight[k]; ok {
+		r.flightMu.Unlock()
+		<-c.done
+		return c.p, c.err
+	}
+	// Re-check under the flight lock: the previous flight for this key
+	// may have completed (and cached) between our miss and the lock.
+	if p, ok := r.cache.Get(k); ok {
+		r.flightMu.Unlock()
+		return p, nil
+	}
+	c := &flightCall{done: make(chan struct{})}
+	if r.flight == nil {
+		r.flight = make(map[versionKey]*flightCall)
+	}
+	r.flight[k] = c
+	r.flightMu.Unlock()
+
+	opts := r.opts
+	opts.Seed = deriveSeed(family, epoch)
+	p, err := Compile(r.source, opts)
+	if err != nil {
+		err = fmt.Errorf("rotation epoch %d: %w", epoch, err)
+	} else {
+		r.cache.Put(k, p)
+	}
+	c.p, c.err = p, err
+
+	r.flightMu.Lock()
+	delete(r.flight, k)
+	r.flightMu.Unlock()
+	close(c.done)
+	return p, err
+}
+
+// View is one session's window onto a shared Rotation: it resolves
+// epochs to compiled versions through the Rotation's shared cache while
+// holding the session-local rekey state (which master seed family is
+// active from which epoch onward). core.Rotation documents the split;
+// internal/session consumes a View through its Versioner, Rekeyer and
+// Padder interfaces.
+//
+// A View is safe for concurrent use.
+type View struct {
+	rot *Rotation
+
+	mu     sync.Mutex
+	rekeys []rekeyPoint // ascending by from
+}
+
+// Rotation returns the shared Rotation this view resolves through.
+func (v *View) Rotation() *Rotation { return v.rot }
+
+// Version returns the protocol of the given epoch under this view's
+// rekey history, compiling it through the shared cache on first use.
+func (v *View) Version(epoch uint64) (*Protocol, error) {
+	v.mu.Lock()
+	family := v.familySeedLocked(epoch)
+	v.mu.Unlock()
+	return v.rot.versionFor(family, epoch)
+}
+
+// Graph returns the transformed message-format graph of the given
+// epoch — the session transport's Versioner interface.
+func (v *View) Graph(epoch uint64) (*graph.Graph, error) {
+	p, err := v.Version(epoch)
 	if err != nil {
 		return nil, err
 	}
 	return p.Graph, nil
 }
 
-// Rekey switches the master seed for every epoch >= from, invalidating
-// any cached version at or past that point. Rekey points must not move
-// backwards: a from below the latest recorded point is rejected, while a
-// from equal to it replaces the point (how the session layer's
-// deterministic tie-break between crossed proposals settles). Epochs
-// before from keep deriving from the previously active family.
-func (r *Rotation) Rekey(from uint64, seed int64) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if n := len(r.rekeys); n > 0 && from <= r.rekeys[n-1].from {
-		if from < r.rekeys[n-1].from {
-			return fmt.Errorf("rotation: rekey from epoch %d predates rekey point %d", from, r.rekeys[n-1].from)
+// Rekey switches this view's master seed for every epoch >= from. Rekey
+// points must not move backwards: a from below the latest recorded
+// point is rejected, while a from equal to it replaces the point (how
+// the session layer's deterministic tie-break between crossed proposals
+// settles). Epochs before from keep deriving from the previously active
+// family. Because the shared cache is keyed by (family, epoch), a rekey
+// is pure metadata: no cached versions are invalidated, and other views
+// of the same Rotation are untouched.
+func (v *View) Rekey(from uint64, seed int64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if n := len(v.rekeys); n > 0 && from <= v.rekeys[n-1].from {
+		if from < v.rekeys[n-1].from {
+			return fmt.Errorf("rotation: rekey from epoch %d predates rekey point %d", from, v.rekeys[n-1].from)
 		}
-		r.rekeys[n-1].seed = seed
+		v.rekeys[n-1].seed = seed
 	} else {
-		r.rekeys = append(r.rekeys, rekeyPoint{from: from, seed: seed})
+		v.rekeys = append(v.rekeys, rekeyPoint{from: from, seed: seed})
 	}
-	// Versions at or past the rekey point were compiled under the old
-	// family; drop them so the next use recompiles under the new one.
-	r.cache.DeleteIf(func(epoch uint64, _ *Protocol) bool { return epoch >= from }, nil)
 	return nil
 }
 
-// DropRekey removes the most recent rekey point if it matches (from,
-// seed) exactly: the session layer's rollback when a rekey was applied
-// locally but the handshake step that was supposed to commit it (the
-// dialect compile or the ack write) failed, so the peer never learned
-// of the switch. Cached versions at or past the dropped point are
-// invalidated back to the previous family.
-func (r *Rotation) DropRekey(from uint64, seed int64) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	n := len(r.rekeys)
-	if n == 0 || r.rekeys[n-1] != (rekeyPoint{from: from, seed: seed}) {
+// DropRekey removes the view's most recent rekey point if it matches
+// (from, seed) exactly: the session layer's rollback when a rekey was
+// applied locally but the handshake step that was supposed to commit it
+// (the dialect compile or the ack write) failed, so the peer never
+// learned of the switch.
+func (v *View) DropRekey(from uint64, seed int64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := len(v.rekeys)
+	if n == 0 || v.rekeys[n-1] != (rekeyPoint{from: from, seed: seed}) {
 		return fmt.Errorf("rotation: no rekey point (%d, %d) to drop", from, seed)
 	}
-	r.rekeys = r.rekeys[:n-1]
-	r.cache.DeleteIf(func(epoch uint64, _ *Protocol) bool { return epoch >= from }, nil)
+	v.rekeys = v.rekeys[:n-1]
 	return nil
 }
 
@@ -173,10 +355,10 @@ func (r *Rotation) DropRekey(from uint64, seed int64) error {
 // cryptographic confidentiality of the rekeyed seed should run the
 // session over an encrypted channel; the masking then only keeps the
 // control plane indistinguishable from payload bytes.
-func (r *Rotation) ControlPad(epoch uint64, n int) []byte {
-	r.mu.Lock()
-	family := r.familySeed(epoch)
-	r.mu.Unlock()
+func (v *View) ControlPad(epoch uint64, n int) []byte {
+	v.mu.Lock()
+	family := v.familySeedLocked(epoch)
+	v.mu.Unlock()
 	var msg [24]byte
 	binary.BigEndian.PutUint64(msg[0:8], uint64(family))
 	binary.BigEndian.PutUint64(msg[8:16], epoch)
@@ -191,10 +373,11 @@ func (r *Rotation) ControlPad(epoch uint64, n int) []byte {
 	return pad[:n]
 }
 
-// familySeed returns the master seed active at epoch. Callers hold r.mu.
-func (r *Rotation) familySeed(epoch uint64) int64 {
-	seed := r.opts.Seed
-	for _, p := range r.rekeys {
+// familySeedLocked returns the master seed active at epoch. Callers
+// hold v.mu.
+func (v *View) familySeedLocked(epoch uint64) int64 {
+	seed := v.rot.opts.Seed
+	for _, p := range v.rekeys {
 		if p.from > epoch {
 			break
 		}

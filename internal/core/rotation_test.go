@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -182,5 +184,154 @@ func TestControlPad(t *testing.T) {
 	}
 	if bytes.Equal(a.ControlPad(9, 20), before9) {
 		t.Error("rekey left a post-boundary pad unchanged")
+	}
+}
+
+// TestViewIndependentRekey is the share-safety property behind the
+// Endpoint API: views of one Rotation rekey independently, so a rekey
+// negotiated on one session never switches the family under another.
+func TestViewIndependentRekey(t *testing.T) {
+	r := newTestRotation(t, 21)
+	v1, v2 := r.View(), r.View()
+
+	base, err := v2.Version(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.Rekey(5, 777); err != nil {
+		t.Fatal(err)
+	}
+	// v1 sees the new family past the boundary...
+	switched, err := v1.Version(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if switched.Seed == base.Seed {
+		t.Error("rekeyed view kept the base family")
+	}
+	// ...v2 and the Rotation's default view stay on the base family.
+	still, err := v2.Version(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if still.Seed != base.Seed {
+		t.Error("rekey on one view leaked into a sibling view")
+	}
+	direct, err := r.Version(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Seed != base.Seed {
+		t.Error("rekey on one view leaked into the default view")
+	}
+	// Pads diverge accordingly: v1 masks with the new family at 6.
+	if bytes.Equal(v1.ControlPad(6, 20), v2.ControlPad(6, 20)) {
+		t.Error("post-rekey pads identical across views")
+	}
+	if !bytes.Equal(v1.ControlPad(4, 20), v2.ControlPad(4, 20)) {
+		t.Error("pre-boundary pads differ across views")
+	}
+}
+
+// TestViewSharedCompileCache checks views actually share compiled
+// versions: the same (family, epoch) resolves to the same *Protocol
+// across views, and a rekeyed view's old-family entries remain valid
+// for its siblings.
+func TestViewSharedCompileCache(t *testing.T) {
+	r := newTestRotation(t, 23)
+	v1, v2 := r.View(), r.View()
+	p1, err := v1.Version(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := v2.Version(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("sibling views compiled the same version twice")
+	}
+	n := r.CacheLen()
+	if err := v1.Rekey(2, 999); err != nil {
+		t.Fatal(err)
+	}
+	// Rekey is metadata-only: nothing is evicted.
+	if got := r.CacheLen(); got != n {
+		t.Errorf("rekey changed cache population: %d -> %d", n, got)
+	}
+	// v2 still hits the cached base-family version.
+	p2b, err := v2.Version(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2b != p2 {
+		t.Error("sibling lost its cached version after an unrelated rekey")
+	}
+}
+
+// TestVersionForConcurrent races many goroutines over a few epochs on
+// one Rotation (run under -race): every goroutine must observe the same
+// compiled version per epoch, and the compile dedup must keep the cache
+// to one entry per (family, epoch).
+func TestVersionForConcurrent(t *testing.T) {
+	r := newTestRotation(t, 29)
+	const workers, epochs = 16, 8
+	got := make([][epochs]*Protocol, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := r.View()
+			for e := 0; e < epochs; e++ {
+				p, err := v.Version(uint64(e))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got[w][e] = p
+			}
+		}(w)
+	}
+	wg.Wait()
+	for e := 0; e < epochs; e++ {
+		for w := 1; w < workers; w++ {
+			if got[w][e] != got[0][e] {
+				t.Fatalf("epoch %d: worker %d observed a different compiled version", e, w)
+			}
+		}
+	}
+	if n := r.CacheLen(); n != epochs {
+		t.Errorf("cache holds %d versions after dedup, want %d", n, epochs)
+	}
+}
+
+// TestAttachSharing pins the ErrSharedRekey rules the deprecated
+// constructors enforce.
+func TestAttachSharing(t *testing.T) {
+	r := newTestRotation(t, 31)
+	// Many plain sessions may share.
+	if err := r.Attach(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Attach(false); err != nil {
+		t.Fatal(err)
+	}
+	// A rekey session cannot join a shared rotation.
+	if err := r.Attach(true); !errors.Is(err, ErrSharedRekey) {
+		t.Fatalf("rekey attach on shared rotation: %v", err)
+	}
+	// A rekey session alone is fine; nothing may join it afterwards.
+	solo := newTestRotation(t, 31)
+	if err := solo.Attach(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := solo.Attach(false); !errors.Is(err, ErrSharedRekey) {
+		t.Fatalf("attach after rekey owner: %v", err)
+	}
+	// Detach rolls the claim back.
+	solo.Detach(true)
+	if err := solo.Attach(false); err != nil {
+		t.Fatalf("attach after detach: %v", err)
 	}
 }

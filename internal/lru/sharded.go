@@ -1,0 +1,224 @@
+package lru
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded is a concurrency-safe bounded cache built from N independently
+// locked Cache shards. It exists for the one cache in the system that
+// many goroutines genuinely hammer at once: the compiled-version cache
+// of a rotation shared by hundreds of concurrent sessions. A single
+// mutex there serializes every epoch lookup of every session; sharding
+// by key hash keeps lookups of different keys on different locks, so
+// throughput scales with cores instead of flatlining at one lock's
+// hand-off rate.
+//
+// The total bound is strict: Len() never exceeds the configured
+// capacity. Capacity is split exactly across the active shards, and when
+// the capacity is smaller than the shard count only the first `capacity`
+// shards are active (keys route to `hash % active`), so a tightly
+// bounded cache degrades gracefully toward a single-mutex cache instead
+// of silently overshooting its bound. Eviction is per-shard LRU — an
+// approximation of global LRU that is exact when keys spread evenly,
+// which epoch-keyed workloads do by construction (the hash mixes the
+// epoch).
+//
+// Re-bounding with SetCap may change the active shard count; entries
+// stranded in deactivated shards are dropped (they are caches of
+// deterministic computations — the next use recomputes).
+type Sharded[K comparable, V any] struct {
+	shards []shard[K, V]
+	hash   func(K) uint64
+	cap    int          // requested total capacity (<= 0 means unbounded)
+	active atomic.Int32 // shards currently routed to
+	mu     sync.Mutex   // serializes SetCap against itself
+}
+
+// shard pads each lock to its own cache line so neighboring shards do
+// not false-share under write-heavy load.
+type shard[K comparable, V any] struct {
+	mu       sync.Mutex
+	c        *Cache[K, V]
+	inactive bool // deactivated by SetCap; writers must re-route
+	_        [64 - 24]byte
+}
+
+// NewSharded returns a sharded cache of the given total capacity
+// (<= 0 means unbounded). shards <= 0 picks DefaultShards. hash
+// distributes keys across shards and must be deterministic; a weak hash
+// only costs balance, never correctness. onEvict, if non-nil, runs for
+// entries removed by the bound, under the owning shard's lock.
+func NewSharded[K comparable, V any](shards, capacity int, hash func(K) uint64, onEvict func(K, V)) *Sharded[K, V] {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	s := &Sharded[K, V]{
+		shards: make([]shard[K, V], shards),
+		hash:   hash,
+		cap:    capacity,
+	}
+	for i := range s.shards {
+		s.shards[i].c = New[K, V](0, onEvict)
+	}
+	s.applyCap(capacity)
+	return s
+}
+
+// DefaultShards is the shard count used when the caller does not pick
+// one: enough parallelism for the session fleets the rotation layer
+// targets, small enough that per-shard capacity stays useful.
+const DefaultShards = 16
+
+// shardOf routes k to its active shard.
+func (s *Sharded[K, V]) shardOf(k K) *shard[K, V] {
+	n := uint64(s.active.Load())
+	return &s.shards[s.hash(k)%n]
+}
+
+// Get returns the value under k, marking it most recently used in its
+// shard. Only the owning shard's lock is taken.
+func (s *Sharded[K, V]) Get(k K) (V, bool) {
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	v, ok := sh.c.Get(k)
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// Put inserts or replaces the value under k, evicting the shard's least
+// recently used entries while the shard's slice of the bound is
+// exceeded. A put racing a SetCap that deactivated its shard re-routes,
+// so the strict total bound holds even across re-bounding.
+func (s *Sharded[K, V]) Put(k K, v V) {
+	for {
+		sh := s.shardOf(k)
+		sh.mu.Lock()
+		if sh.inactive {
+			sh.mu.Unlock()
+			continue
+		}
+		sh.c.Put(k, v)
+		sh.mu.Unlock()
+		return
+	}
+}
+
+// Delete removes k without invoking the eviction callback.
+func (s *Sharded[K, V]) Delete(k K) {
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	sh.c.Delete(k)
+	sh.mu.Unlock()
+}
+
+// DeleteIf removes every entry for which fn returns true, calling
+// onDelete (if non-nil) for each removed entry. Shards are swept one at
+// a time, so concurrent readers of other shards proceed. All shards are
+// swept, including ones deactivated by a past SetCap.
+func (s *Sharded[K, V]) DeleteIf(fn func(K, V) bool, onDelete func(K, V)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.c.DeleteIf(fn, onDelete)
+		sh.mu.Unlock()
+	}
+}
+
+// Len returns the total number of cached entries across all shards.
+func (s *Sharded[K, V]) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.c.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Cap returns the configured total bound (<= 0 means unbounded).
+func (s *Sharded[K, V]) Cap() int { return s.cap }
+
+// Shards returns the construction-time shard count.
+func (s *Sharded[K, V]) Shards() int { return len(s.shards) }
+
+// SetCap re-bounds the cache to at most capacity total entries,
+// evicting immediately. A capacity <= 0 removes the bound. Shrinking
+// below the shard count deactivates shards; their entries are dropped.
+func (s *Sharded[K, V]) SetCap(capacity int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cap = capacity
+	s.applyCap(capacity)
+}
+
+// applyCap distributes capacity across shards and flushes deactivated
+// ones. The active count is published only after the newly active
+// shards have their caps in place, so a racing Put can never land in a
+// shard believing itself unbounded.
+func (s *Sharded[K, V]) applyCap(capacity int) {
+	active := len(s.shards)
+	if capacity > 0 && capacity < active {
+		active = capacity
+	}
+	base, extra := 0, 0
+	if capacity > 0 {
+		base, extra = capacity/active, capacity%active
+	}
+	for i := 0; i < active; i++ {
+		c := base
+		if i < extra {
+			c++
+		}
+		if capacity <= 0 {
+			c = 0 // unbounded
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.inactive = false
+		sh.c.SetCap(c)
+		sh.mu.Unlock()
+	}
+	s.active.Store(int32(active))
+	// Entries routed to now-inactive shards would never be found again;
+	// drop them rather than strand them.
+	for i := active; i < len(s.shards); i++ {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.inactive = true
+		sh.c.DeleteIf(func(K, V) bool { return true }, nil)
+		sh.c.SetCap(0)
+		sh.mu.Unlock()
+	}
+}
+
+// Range calls fn for every cached entry, stopping early when fn returns
+// false. Each shard is locked only while it is being walked; entries
+// added or removed concurrently in other shards may or may not be seen.
+func (s *Sharded[K, V]) Range(fn func(K, V) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		stop := false
+		sh.mu.Lock()
+		sh.c.Range(func(k K, v V) bool {
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		sh.mu.Unlock()
+		if stop {
+			return
+		}
+	}
+}
+
+// Mix64 is a SplitMix64-style finalizer usable as the hash for integer
+// keys: consecutive inputs land on unrelated shards.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

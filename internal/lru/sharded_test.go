@@ -1,0 +1,195 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func shardedForTest(shards, capacity int, onEvict func(uint64, string)) *Sharded[uint64, string] {
+	return NewSharded[uint64, string](shards, capacity, Mix64, onEvict)
+}
+
+func TestShardedBasics(t *testing.T) {
+	s := shardedForTest(4, 0, nil)
+	if _, ok := s.Get(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	s.Put(1, "one")
+	s.Put(2, "two")
+	if v, ok := s.Get(1); !ok || v != "one" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	s.Put(1, "uno")
+	if v, _ := s.Get(1); v != "uno" {
+		t.Fatalf("replace: Get(1) = %q", v)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after replace = %d, want 2", s.Len())
+	}
+	s.Delete(1)
+	if _, ok := s.Get(1); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+// TestShardedStrictBound is the property the rotation soak tests rely
+// on: Len never exceeds the configured capacity, for every combination
+// of capacity and shard count — including capacities smaller than the
+// shard count.
+func TestShardedStrictBound(t *testing.T) {
+	for _, shards := range []int{1, 3, 8, 16} {
+		for _, capacity := range []int{1, 2, 5, 16, 64} {
+			t.Run(fmt.Sprintf("shards=%d/cap=%d", shards, capacity), func(t *testing.T) {
+				s := shardedForTest(shards, capacity, nil)
+				for k := uint64(0); k < 500; k++ {
+					s.Put(k, "v")
+					if n := s.Len(); n > capacity {
+						t.Fatalf("after %d puts: Len = %d exceeds cap %d", k+1, n, capacity)
+					}
+				}
+				// The cache is not degenerate: it retains a meaningful
+				// fraction of its capacity under a uniform key stream.
+				if n := s.Len(); n < (capacity+1)/2 {
+					t.Fatalf("retained %d of cap %d", n, capacity)
+				}
+			})
+		}
+	}
+}
+
+func TestShardedRecency(t *testing.T) {
+	// One shard makes LRU order exact; the point is that Get refreshes.
+	s := shardedForTest(1, 2, nil)
+	s.Put(1, "a")
+	s.Put(2, "b")
+	s.Get(1) // 2 is now least recently used
+	s.Put(3, "c")
+	if _, ok := s.Get(2); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := s.Get(1); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+}
+
+func TestShardedSetCap(t *testing.T) {
+	s := shardedForTest(8, 0, nil)
+	for k := uint64(0); k < 100; k++ {
+		s.Put(k, "v")
+	}
+	if s.Len() != 100 {
+		t.Fatalf("unbounded Len = %d", s.Len())
+	}
+	// Shrink below the shard count: the bound must still be strict.
+	s.SetCap(3)
+	if n := s.Len(); n > 3 {
+		t.Fatalf("after SetCap(3): Len = %d", n)
+	}
+	for k := uint64(200); k < 300; k++ {
+		s.Put(k, "v")
+		if n := s.Len(); n > 3 {
+			t.Fatalf("after post-shrink put: Len = %d", n)
+		}
+	}
+	// Grow again: previously deactivated shards rejoin.
+	s.SetCap(64)
+	for k := uint64(300); k < 400; k++ {
+		s.Put(k, "v")
+	}
+	if n := s.Len(); n > 64 || n < 32 {
+		t.Fatalf("after SetCap(64) refill: Len = %d", n)
+	}
+	// Remove the bound.
+	s.SetCap(0)
+	for k := uint64(400); k < 600; k++ {
+		s.Put(k, "v")
+	}
+	if n := s.Len(); n < 200 {
+		t.Fatalf("unbounded again: Len = %d", n)
+	}
+}
+
+func TestShardedDeleteIf(t *testing.T) {
+	s := shardedForTest(4, 0, nil)
+	for k := uint64(0); k < 40; k++ {
+		s.Put(k, "v")
+	}
+	var dropped int
+	s.DeleteIf(func(k uint64, _ string) bool { return k >= 20 },
+		func(uint64, string) { dropped++ })
+	if dropped != 20 || s.Len() != 20 {
+		t.Fatalf("dropped %d, Len %d", dropped, s.Len())
+	}
+	s.Range(func(k uint64, _ string) bool {
+		if k >= 20 {
+			t.Fatalf("key %d survived DeleteIf", k)
+		}
+		return true
+	})
+}
+
+func TestShardedEvictCallback(t *testing.T) {
+	evicted := map[uint64]bool{}
+	s := shardedForTest(2, 2, func(k uint64, _ string) { evicted[k] = true })
+	for k := uint64(0); k < 10; k++ {
+		s.Put(k, "v")
+	}
+	if len(evicted) != 8 {
+		t.Fatalf("evicted %d entries, want 8", len(evicted))
+	}
+}
+
+// TestShardedConcurrent hammers every operation from many goroutines;
+// run under -race this is the shard-lock correctness test.
+func TestShardedConcurrent(t *testing.T) {
+	s := shardedForTest(8, 128, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := uint64(w*1000 + i%300)
+				switch i % 4 {
+				case 0, 1:
+					s.Get(k)
+				case 2:
+					s.Put(k, "v")
+				default:
+					if i%64 == 0 {
+						s.SetCap(64 + i%128)
+					} else {
+						s.Get(k)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n, c := s.Len(), s.Cap(); c > 0 && n > c {
+		t.Fatalf("Len %d exceeds cap %d after concurrent churn", n, c)
+	}
+}
+
+func BenchmarkShardedGet(b *testing.B) {
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := shardedForTest(shards, 256, nil)
+			for k := uint64(0); k < 128; k++ {
+				s.Put(k, "v")
+			}
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				k := uint64(0)
+				for pb.Next() {
+					s.Get(k & 127)
+					k++
+				}
+			})
+		})
+	}
+}

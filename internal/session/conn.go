@@ -115,6 +115,7 @@ type Options struct {
 // calls.
 type Conn struct {
 	t        *Transport
+	rw       io.ReadWriter // the underlying stream, closed by Close when it can be
 	versions Versioner
 
 	// MaxEpochLead is the highest accepted distance between an incoming
@@ -187,6 +188,7 @@ func NewConnOpts(rw io.ReadWriter, versions Versioner, opts Options) (*Conn, err
 	}
 	c := &Conn{
 		t:            NewTransport(rw),
+		rw:           rw,
 		versions:     versions,
 		MaxEpochLead: lead,
 		schedule:     opts.Schedule,
@@ -232,6 +234,20 @@ func (c *Conn) Release() {
 	c.rbuf = nil
 	c.pmu.Unlock()
 	c.t.Release()
+}
+
+// Close closes the underlying stream (when it implements io.Closer) and
+// releases the session's pooled buffers. It is how sessions handed out
+// by the endpoint layer's Dial/Accept are torn down; sessions over a
+// stream the caller keeps owning can keep using Release instead. The
+// session must not be used after Close.
+func (c *Conn) Close() error {
+	var err error
+	if cl, ok := c.rw.(io.Closer); ok {
+		err = cl.Close()
+	}
+	c.Release()
+	return err
 }
 
 // Epoch returns the current send epoch (lock-free).

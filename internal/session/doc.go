@@ -46,9 +46,15 @@
 //
 // Compiled dialects are cached per connection in an LRU bounded by
 // Options.CacheWindow (internal/lru), and core.Rotation bounds its
-// compiled versions the same way, keeping long-lived sessions at
-// O(window) memory across unbounded epochs; evicted epochs recompile
-// deterministically on demand.
+// shared compiled-version cache the same way (sharded, strict total
+// bound), keeping long-lived sessions at O(window) memory across
+// unbounded epochs; evicted epochs recompile deterministically on
+// demand. Many concurrent Conns of one dialect family each take a
+// core.View of the same Rotation as their Versioner — the public
+// Endpoint does exactly this — sharing compiled versions while keeping
+// rekey state private per connection; a Conn handed the Rotation itself
+// uses the Rotation's built-in default view and must then own it
+// exclusively as soon as rekeying is enabled.
 //
 // Concurrency: a single writer mutex serializes frame writes, a single
 // reader mutex serializes frame reads, and the current epoch is read

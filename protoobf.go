@@ -18,6 +18,8 @@
 //
 // # Quick start
 //
+// One-shot message work — compile a dialect, build, serialize, parse:
+//
 //	proto, err := protoobf.Compile(mySpec, protoobf.Options{PerNode: 2, Seed: 42})
 //	msg := proto.NewMessage()
 //	s := msg.Scope()
@@ -25,15 +27,26 @@
 //	wireBytes, err := proto.Serialize(msg)
 //	back, err := proto.Parse(wireBytes)
 //
+// Live traffic — compile the dialect family once into an Endpoint and
+// mint any number of concurrent sessions from it (the paper's §VIII
+// deployment model: one compiled family, many peers, a new dialect
+// every epoch):
+//
+//	ep, err := protoobf.NewEndpoint(mySpec, protoobf.Options{PerNode: 2, Seed: 42},
+//	    protoobf.WithSchedule(protoobf.NewSchedule(genesis, time.Hour)))
+//	ln, err := ep.Listen("tcp", ":9000")
+//	for {
+//	    sess, err := ln.Accept() // a ready session; sess.Close() when done
+//	    ...
+//	}
+//
 // Both communicating peers must be built from the same (spec, seed,
-// options) triple; Compile is deterministic, so re-generating the
-// library at regular intervals with a fresh seed yields a new protocol
-// version without touching application code (paper §I).
+// options) triple; compilation is deterministic, so every peer derives
+// the same dialect for every epoch with no coordination (paper §I).
 package protoobf
 
 import (
 	"io"
-	"net"
 	"time"
 
 	"protoobf/internal/core"
@@ -64,8 +77,15 @@ type Graph = graph.Graph
 
 // Rotation derives deterministic protocol versions per epoch, the
 // deployment model of the paper's conclusion (new obfuscated versions at
-// regular intervals).
+// regular intervals). Endpoint is the usual owner of a Rotation; direct
+// use remains for inspection and custom pipelines.
 type Rotation = core.Rotation
+
+// ErrSharedRekey is returned by the deprecated session constructors when
+// a rekey-enabled Rotation would be shared across sessions — a sharing
+// pattern that silently corrupts the seed family. Sessions minted from
+// an Endpoint rekey independently and never hit this.
+var ErrSharedRekey = core.ErrSharedRekey
 
 // Compile parses a message-format specification and applies the
 // requested obfuscation. The specification language is documented in
@@ -76,7 +96,9 @@ func Compile(source string, opts Options) (*Protocol, error) {
 
 // NewRotation prepares an epoch-keyed family of protocol versions for
 // the same specification. Peers sharing (spec, options) agree on every
-// epoch's dialect without further coordination.
+// epoch's dialect without further coordination. Most callers want
+// NewEndpoint instead, which owns a Rotation and mints share-safe
+// sessions from it.
 func NewRotation(source string, opts Options) (*Rotation, error) {
 	return core.NewRotation(source, opts)
 }
@@ -95,9 +117,9 @@ func TransformNames() []string {
 // frame is tagged with its dialect epoch outside the obfuscated payload,
 // and the dialect rotates mid-session — on a wall-clock schedule, by
 // explicit Rotate/Advance calls, or by following the peer. Sessions can
-// also rekey in-band (Session.Rekey or SessionOptions.RekeyEvery),
-// switching the whole dialect family to a fresh obfuscation seed. See
-// internal/session.
+// also rekey in-band (Session.Rekey or WithRekeyEvery), switching the
+// whole dialect family to a fresh obfuscation seed. Sessions are minted
+// from an Endpoint; see internal/session for the transport details.
 type Session = session.Conn
 
 // Schedule derives dialect epochs from coarse wall-clock time: epoch e
@@ -114,98 +136,11 @@ func NewSchedule(genesis time.Time, interval time.Duration) *Schedule {
 	return sched.New(genesis, interval)
 }
 
-// SessionOptions configures the rotation control plane of a session. The
-// zero value gives a manually rotated session with default bounds.
-type SessionOptions struct {
-	// Schedule, when non-nil, advances the session's epoch from
-	// wall-clock time (see Schedule). Nil means epochs move only via
-	// Rotate/Advance or by following the peer.
-	Schedule *Schedule
-
-	// RekeyEvery, when nonzero, proposes an in-band rekey — a fresh
-	// master seed for the dialect family, exchanged as a masked control
-	// frame and acknowledged before either side uses it — every
-	// RekeyEvery epochs. A rekeying session mutates its Rotation, so the
-	// session must own the Rotation exclusively; do not share one
-	// Rotation across rekey-enabled connections.
-	RekeyEvery uint64
-
-	// CacheWindow bounds how many compiled dialect epochs the session
-	// (and its Rotation) keeps: 0 means the defaults, negative means
-	// unbounded. Evicted epochs recompile deterministically on demand,
-	// so the window keeps long-lived sessions at O(window) memory.
-	CacheWindow int
-}
-
-// NewSession opens a session over rw speaking the epoch-keyed dialect
-// family of rot. Both peers must share the rotation's (spec, options).
-func NewSession(rw io.ReadWriter, rot *Rotation) (*Session, error) {
-	return session.NewConn(rw, rot)
-}
-
-// NewSessionWith opens a session over rw with an explicit control-plane
-// configuration: wall-clock scheduled rotation, periodic in-band
-// rekeying, and a bounded dialect cache. A CacheWindow also bounds rot's
-// compiled-version cache.
-func NewSessionWith(rw io.ReadWriter, rot *Rotation, opts SessionOptions) (*Session, error) {
-	if opts.CacheWindow != 0 {
-		rot.Bound(opts.CacheWindow)
-	}
-	return session.NewConnOpts(rw, rot, session.Options{
-		Schedule:    opts.Schedule,
-		RekeyEvery:  opts.RekeyEvery,
-		CacheWindow: opts.CacheWindow,
-	})
-}
-
-// NewStaticSession opens a session over rw that speaks a single fixed
-// protocol in every epoch (session framing without dialect rotation).
-func NewStaticSession(rw io.ReadWriter, p *Protocol) (*Session, error) {
-	return session.NewConn(rw, session.Fixed(p.Graph))
-}
-
-// NewSessionPair connects two in-memory session peers, each compiled
-// independently from the same (spec, options) — exactly how deployed
-// peers agree on every epoch's dialect without coordination (§VIII).
-func NewSessionPair(source string, opts Options) (*Session, *Session, error) {
-	return NewSessionPairWith(source, opts, SessionOptions{})
-}
-
-// NewSessionPairWith is NewSessionPair with a control-plane
-// configuration applied to both peers (each still owns an independent
-// Rotation, as deployed peers would).
-func NewSessionPairWith(source string, opts Options, sopts SessionOptions) (*Session, *Session, error) {
-	a, err := core.NewRotation(source, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	b, err := core.NewRotation(source, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	if sopts.CacheWindow != 0 {
-		a.Bound(sopts.CacheWindow)
-		b.Bound(sopts.CacheWindow)
-	}
-	o := session.Options{
-		Schedule:    sopts.Schedule,
-		RekeyEvery:  sopts.RekeyEvery,
-		CacheWindow: sopts.CacheWindow,
-	}
-	return session.PairOpts(a, b, o, o)
-}
-
-// DialSession connects to addr over TCP and opens a session speaking
-// rot's dialect family.
-func DialSession(addr string, rot *Rotation) (*Session, net.Conn, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, nil, err
-	}
-	s, err := session.NewConn(conn, rot)
-	if err != nil {
-		conn.Close()
-		return nil, nil, err
-	}
-	return s, conn, nil
+// Pipe returns the two ends of a buffered in-memory duplex stream —
+// the in-process stand-in for a network connection in tests, examples
+// and benchmarks. Unlike net.Pipe it is buffered, so one goroutine can
+// Send on a session over one end and then Recv on the session over the
+// other.
+func Pipe() (io.ReadWriteCloser, io.ReadWriteCloser) {
+	return session.NewDuplex()
 }

@@ -232,48 +232,6 @@ root seq msg end {
 	// Output: epochs 0 and 1 share wire bytes: false
 }
 
-// ExampleNewSessionPair round-trips a message between two in-memory
-// session peers and rotates the dialect mid-session.
-func ExampleNewSessionPair() {
-	spec := `
-protocol ping;
-root seq msg end {
-    uint  seqno 4;
-    bytes note end;
-}`
-	a, b, err := protoobf.NewSessionPair(spec, protoobf.Options{PerNode: 2, Seed: 7})
-	if err != nil {
-		panic(err)
-	}
-	for round := uint64(0); round < 2; round++ {
-		m, err := a.NewMessage()
-		if err != nil {
-			panic(err)
-		}
-		if err := m.Scope().SetUint("seqno", 100+round); err != nil {
-			panic(err)
-		}
-		if err := m.Scope().SetString("note", "hello"); err != nil {
-			panic(err)
-		}
-		if err := a.Send(m); err != nil {
-			panic(err)
-		}
-		got, err := b.Recv()
-		if err != nil {
-			panic(err)
-		}
-		seqno, _ := got.Scope().GetUint("seqno")
-		fmt.Printf("epoch %d delivered seqno %d\n", b.Epoch(), seqno)
-		if _, err := a.Rotate(); err != nil { // B follows on its next Recv
-			panic(err)
-		}
-	}
-	// Output:
-	// epoch 0 delivered seqno 100
-	// epoch 1 delivered seqno 101
-}
-
 // ExampleNewSchedule shows wall-clock epoch derivation with an injected
 // clock: peers sharing (genesis, interval) agree on the epoch — and so
 // on the dialect — from their own clocks, with no coordination.
@@ -290,106 +248,6 @@ func ExampleNewSchedule() {
 	// epoch 37 starts in 40m0s
 }
 
-// ExampleNewSessionPairWith runs the full control plane in memory: a
-// shared wall-clock schedule (driven by a fake clock here) rotates the
-// dialect, and both peers converge without any in-band coordination.
-func ExampleNewSessionPairWith() {
-	spec := `
-protocol ping;
-root seq msg end {
-    uint  seqno 4;
-    bytes note end;
-}`
-	genesis := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
-	now := genesis
-	schedule := protoobf.NewSchedule(genesis, time.Hour).WithClock(func() time.Time { return now })
-	a, b, err := protoobf.NewSessionPairWith(spec,
-		protoobf.Options{PerNode: 2, Seed: 7},
-		protoobf.SessionOptions{Schedule: schedule, CacheWindow: 4})
-	if err != nil {
-		panic(err)
-	}
-	for round := uint64(0); round < 3; round++ {
-		m, err := a.NewMessage() // adopts the schedule's epoch
-		if err != nil {
-			panic(err)
-		}
-		if err := m.Scope().SetUint("seqno", round); err != nil {
-			panic(err)
-		}
-		if err := m.Scope().SetString("note", "tick"); err != nil {
-			panic(err)
-		}
-		if err := a.Send(m); err != nil {
-			panic(err)
-		}
-		if _, err := b.Recv(); err != nil {
-			panic(err)
-		}
-		fmt.Printf("round %d at epoch %d\n", round, b.Epoch())
-		now = now.Add(time.Hour) // wall clock advances for both peers
-	}
-	// Output:
-	// round 0 at epoch 0
-	// round 1 at epoch 1
-	// round 2 at epoch 2
-}
-
-// TestSessionPairRotation drives the exported session API: two in-memory
-// peers exchange a message per epoch across three rotations, each frame
-// decoded with the dialect its epoch header names.
-func TestSessionPairRotation(t *testing.T) {
-	a, b, err := protoobf.NewSessionPair(ticketSpec, protoobf.Options{PerNode: 2, Seed: 5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for epoch := uint64(0); epoch < 4; epoch++ {
-		m, err := a.NewMessage()
-		if err != nil {
-			t.Fatal(err)
-		}
-		s := m.Scope()
-		if err := s.SetUint("version", 1); err != nil {
-			t.Fatal(err)
-		}
-		if err := s.SetUint("kind", 1); err != nil {
-			t.Fatal(err)
-		}
-		if err := s.SetString("user", "ada"); err != nil {
-			t.Fatal(err)
-		}
-		item, err := s.Add("seats")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := item.SetUint("seat", 100+epoch); err != nil {
-			t.Fatal(err)
-		}
-		if err := a.Send(m); err != nil {
-			t.Fatal(err)
-		}
-		got, err := b.Recv()
-		if err != nil {
-			t.Fatalf("epoch %d: %v", epoch, err)
-		}
-		items, err := got.Scope().Items("seats")
-		if err != nil {
-			t.Fatal(err)
-		}
-		seat, err := items[0].GetUint("seat")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if seat != 100+epoch {
-			t.Fatalf("epoch %d: seat = %d, want %d", epoch, seat, 100+epoch)
-		}
-		if got := b.Epoch(); got != epoch {
-			t.Fatalf("receiver epoch = %d, want %d", got, epoch)
-		}
-		if epoch < 3 {
-			if _, err := a.Rotate(); err != nil {
-				t.Fatal(err)
-			}
-		}
-	}
-}
+// Session-level coverage of the current API lives in endpoint_test.go;
+// the deprecated constructors keep their original tests in
+// deprecated_test.go.
