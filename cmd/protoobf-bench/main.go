@@ -13,25 +13,59 @@
 //	protoobf-bench -session -epochs 64 -rekey-every 8  # scheduled-rotation session workload
 //	protoobf-bench -endpoint -sessions 64 -epochs 16   # many sessions, one dialect family
 //	protoobf-bench -endpoint -shards 1                 # same, on the single-mutex cache geometry
+//	protoobf-bench -endpoint -prefetch 16 -metrics     # rotation daemon pre-compiling the epochs
+//	protoobf-bench -endpoint -tcp                      # same workload over loopback TCP
 //	protoobf-bench -all                                # everything, default sizes
+//
+// SIGINT/SIGTERM cancel a run cleanly: in-flight workloads stop between
+// round trips, TCP listeners close, and background daemons exit before
+// the process does.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	"protoobf/internal/bench"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Track which signal cancelled the run so the exit status follows
+	// the shell convention (128+signo: 130 for SIGINT, 143 for SIGTERM).
+	var got atomic.Value
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		s, ok := <-sigCh
+		if ok {
+			got.Store(s)
+			cancel()
+		}
+	}()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			code := 130
+			if s, _ := got.Load().(os.Signal); s == syscall.SIGTERM {
+				code = 143
+			}
+			fmt.Fprintln(os.Stderr, "protoobf-bench: interrupted")
+			os.Exit(code)
+		}
 		fmt.Fprintln(os.Stderr, "protoobf-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("protoobf-bench", flag.ContinueOnError)
 	protocol := fs.String("protocol", "modbus", "protocol to evaluate (modbus or http)")
 	runs := fs.Int("runs", 50, "experiments per obfuscation level (paper: 1000)")
@@ -46,6 +80,9 @@ func run(args []string) error {
 	endpointWL := fs.Bool("endpoint", false, "run the many-sessions-one-family endpoint workload")
 	sessions := fs.Int("sessions", 16, "concurrent session pairs in the endpoint workload")
 	shards := fs.Int("shards", 0, "version-cache lock shards in the endpoint workload (0 = default, 1 = single mutex)")
+	prefetch := fs.Int("prefetch", 0, "run the rotation daemon with this prefetch depth in the endpoint workload (0 = off; >= -epochs pre-compiles the whole run)")
+	overTCP := fs.Bool("tcp", false, "run the endpoint workload over loopback TCP (Endpoint.Listen/Dial) instead of in-memory duplexes")
+	showMetrics := fs.Bool("metrics", false, "print the endpoints' observability snapshots after the workload")
 	epochs := fs.Int("epochs", 32, "scheduled rotations to cross in the session workloads")
 	rekeyEvery := fs.Uint64("rekey-every", 0, "propose an in-band rekey every N epochs in the session workloads (0 = never)")
 	window := fs.Int("window", 0, "dialect cache window for the session workloads (0 = defaults)")
@@ -55,7 +92,7 @@ func run(args []string) error {
 	}
 
 	if *endpointWL {
-		res, err := bench.RunEndpoint(bench.EndpointConfig{
+		res, err := bench.RunEndpoint(ctx, bench.EndpointConfig{
 			Sessions:     *sessions,
 			Epochs:       *epochs,
 			MsgsPerEpoch: *msgs,
@@ -63,6 +100,9 @@ func run(args []string) error {
 			Seed:         *seed,
 			Window:       *window,
 			Shards:       *shards,
+			Prefetch:     *prefetch,
+			OverTCP:      *overTCP,
+			Metrics:      *showMetrics,
 		})
 		if err != nil {
 			return err
@@ -72,7 +112,7 @@ func run(args []string) error {
 	}
 
 	if *sessionWL {
-		res, err := bench.RunSession(bench.SessionConfig{
+		res, err := bench.RunSession(ctx, bench.SessionConfig{
 			Epochs:       *epochs,
 			MsgsPerEpoch: *msgs,
 			RekeyEvery:   *rekeyEvery,

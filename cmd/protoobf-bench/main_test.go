@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 )
 
@@ -8,7 +9,7 @@ func TestRunTableSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign")
 	}
-	if err := run([]string{"-protocol", "http", "-table", "-runs", "2", "-msgs", "3"}); err != nil {
+	if err := run(context.Background(), []string{"-protocol", "http", "-table", "-runs", "2", "-msgs", "3"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -17,34 +18,34 @@ func TestRunFigures(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign")
 	}
-	if err := run([]string{"-protocol", "modbus", "-figure", "potency", "-runs", "2", "-msgs", "3"}); err != nil {
+	if err := run(context.Background(), []string{"-protocol", "modbus", "-figure", "potency", "-runs", "2", "-msgs", "3"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-protocol", "modbus", "-figure", "time", "-runs", "2", "-msgs", "3"}); err != nil {
+	if err := run(context.Background(), []string{"-protocol", "modbus", "-figure", "time", "-runs", "2", "-msgs", "3"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSessionWorkload(t *testing.T) {
-	if err := run([]string{"-session", "-epochs", "4", "-msgs", "4", "-rekey-every", "2", "-window", "4"}); err != nil {
+	if err := run(context.Background(), []string{"-session", "-epochs", "4", "-msgs", "4", "-rekey-every", "2", "-window", "4"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunEndpointWorkload(t *testing.T) {
-	if err := run([]string{"-endpoint", "-sessions", "4", "-epochs", "3", "-msgs", "4", "-rekey-every", "2", "-window", "16", "-shards", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-endpoint", "-sessions", "4", "-epochs", "3", "-msgs", "4", "-rekey-every", "2", "-window", "16", "-shards", "2"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	if err := run(context.Background(), []string{}); err == nil {
 		t.Error("no action accepted")
 	}
-	if err := run([]string{"-figure", "nope", "-runs", "1", "-msgs", "2"}); err == nil {
+	if err := run(context.Background(), []string{"-figure", "nope", "-runs", "1", "-msgs", "2"}); err == nil {
 		t.Error("unknown figure accepted")
 	}
-	if err := run([]string{"-protocol", "ftp", "-table", "-runs", "1"}); err == nil {
+	if err := run(context.Background(), []string{"-protocol", "ftp", "-table", "-runs", "1"}); err == nil {
 		t.Error("unknown protocol accepted")
 	}
 }

@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
+	"time"
 
 	"protoobf/internal/core"
+	"protoobf/internal/metrics"
 	"protoobf/internal/session"
 )
 
@@ -30,18 +33,26 @@ import (
 type Endpoint struct {
 	rot  *core.Rotation
 	base settings
+
+	// prefetchStats counts the prefetch daemon's work; prefetchOn
+	// guards against two daemons racing on one endpoint.
+	prefetchStats metrics.PrefetchCounters
+	prefetchOn    atomic.Bool
 }
 
 // settings carries the control-plane configuration shared by endpoint
 // and session construction. Option values layer: endpoint options set
 // the defaults, per-session options override them.
 type settings struct {
-	schedule      *Schedule
-	rekeyEvery    *uint64
-	cacheWindow   *int
-	static        *Protocol
-	versionWindow int
-	versionShards int
+	schedule        *Schedule
+	rekeyEvery      *uint64
+	rekeyAfterBytes *uint64
+	cacheWindow     *int
+	static          *Protocol
+	versionWindow   int
+	versionShards   int
+	prefetch        int
+	prefetchSleep   func(ctx context.Context, d time.Duration) bool
 }
 
 // Option is a functional option accepted by both NewEndpoint and
@@ -72,6 +83,37 @@ func WithSchedule(s *Schedule) Option {
 // family, so the option is safe on endpoints serving many sessions.
 func WithRekeyEvery(n uint64) Option {
 	return func(cfg *settings) { cfg.rekeyEvery = &n }
+}
+
+// WithRekeyAfterBytes proposes an in-band rekey once n bytes of framed
+// traffic (payloads plus epoch headers, both directions) have moved on
+// a session since its last rekey boundary — the ScrambleSuit-style
+// volume trigger: heavy sessions rotate their seed family by traffic
+// volume, not just on the epoch clock, bounding how much wire material
+// any one family covers. n = 0 (the default) disables the trigger. It
+// composes with WithRekeyEvery; whichever fires first proposes. Each
+// session rekeys its own view, so the option is safe on endpoints
+// serving many sessions.
+func WithRekeyAfterBytes(n uint64) Option {
+	return func(cfg *settings) { cfg.rekeyAfterBytes = &n }
+}
+
+// WithPrefetch sets how many upcoming epochs the endpoint's prefetch
+// daemon (StartPrefetch) keeps compiled ahead of the schedule: at each
+// epoch boundary the daemon compiles epochs next..next+n-1 before they
+// become current, so sessions never pay a dialect compile on their hot
+// path when the boundary arrives. n <= 0 leaves the default depth of 1.
+// Endpoint-level only (the daemon is per endpoint, not per session).
+func WithPrefetch(n int) Option {
+	return func(cfg *settings) { cfg.prefetch = n }
+}
+
+// withPrefetchSleep injects the daemon's boundary wait for tests: fn is
+// called with the time remaining until the next epoch boundary and
+// returns false to stop the daemon (the production implementation waits
+// on a timer or ctx.Done).
+func withPrefetchSleep(fn func(ctx context.Context, d time.Duration) bool) Option {
+	return func(cfg *settings) { cfg.prefetchSleep = fn }
 }
 
 // WithCacheWindow bounds how many compiled dialect epochs each session
@@ -138,6 +180,9 @@ func (ep *Endpoint) Session(rw io.ReadWriter, o ...SessionOption) (*Session, err
 	if cfg.versionWindow != ep.base.versionWindow || cfg.versionShards != ep.base.versionShards {
 		return nil, errors.New("protoobf: WithVersionCache is endpoint-level; pass it to NewEndpoint")
 	}
+	if cfg.prefetch != ep.base.prefetch {
+		return nil, errors.New("protoobf: WithPrefetch is endpoint-level; pass it to NewEndpoint")
+	}
 	var versions session.Versioner
 	switch {
 	case cfg.static != nil:
@@ -153,6 +198,9 @@ func (ep *Endpoint) Session(rw io.ReadWriter, o ...SessionOption) (*Session, err
 	sopts.Schedule = cfg.schedule
 	if cfg.rekeyEvery != nil {
 		sopts.RekeyEvery = *cfg.rekeyEvery
+	}
+	if cfg.rekeyAfterBytes != nil {
+		sopts.RekeyAfterBytes = *cfg.rekeyAfterBytes
 	}
 	if cfg.cacheWindow != nil {
 		sopts.CacheWindow = *cfg.cacheWindow

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -177,7 +178,7 @@ func TestCalibrate(t *testing.T) {
 }
 
 func TestRunEndpointWorkload(t *testing.T) {
-	res, err := RunEndpoint(EndpointConfig{
+	res, err := RunEndpoint(context.Background(), EndpointConfig{
 		Sessions:     6,
 		Epochs:       4,
 		MsgsPerEpoch: 5,
@@ -209,7 +210,7 @@ func TestRunEndpointWorkload(t *testing.T) {
 // TestRunEndpointSingleMutexGeometry pins the comparison knob: shards=1
 // must behave identically (one lock), just slower under contention.
 func TestRunEndpointSingleMutexGeometry(t *testing.T) {
-	res, err := RunEndpoint(EndpointConfig{
+	res, err := RunEndpoint(context.Background(), EndpointConfig{
 		Sessions: 4, Epochs: 2, MsgsPerEpoch: 3, PerNode: 1, Seed: 3, Shards: 1,
 	})
 	if err != nil {

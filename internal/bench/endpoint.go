@@ -1,27 +1,31 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"protoobf/internal/core"
+	"protoobf"
 	"protoobf/internal/session"
 	"protoobf/internal/session/sched"
 )
 
 // EndpointConfig parameterizes the many-sessions-one-family workload:
-// one server-side Rotation (sharded compiled-version cache) serves N
+// one server-side Endpoint (sharded compiled-version cache) serves N
 // concurrent session pairs through per-session rekey views, a fake wall
 // clock drives a shared epoch schedule, and every pair ping-pongs
 // messages in its own goroutine. The run measures aggregate throughput
 // including the shared dialect fetches at every rotation — the workload
-// the Endpoint API redesign exists for.
+// the Endpoint API redesign exists for. With Prefetch the rotation
+// daemon pre-compiles upcoming epochs so those fetches are pure cache
+// hits; with OverTCP the pairs run over real loopback TCP through
+// Endpoint.Listen/Dial instead of in-memory duplexes.
 type EndpointConfig struct {
 	// Sessions is the number of concurrent session pairs sharing the two
-	// rotations (default 16).
+	// endpoints (default 16).
 	Sessions int
 	// Epochs is the number of scheduled rotations to cross (default 8).
 	Epochs int
@@ -40,21 +44,38 @@ type EndpointConfig struct {
 	// Shards picks the version-cache lock-shard count (0 = default,
 	// 1 = the single-mutex pre-sharding geometry, for comparison runs).
 	Shards int
+	// Prefetch starts a rotation daemon on both endpoints with this
+	// window depth, pre-compiling upcoming epochs ahead of the
+	// boundary (0 = no daemon). Depths >= Epochs pre-compile the whole
+	// run up front.
+	Prefetch int
+	// OverTCP runs the pairs over loopback TCP (Endpoint.Listen/Dial)
+	// instead of in-memory duplexes; the server side answers from an
+	// accept loop that shuts down cleanly with the run.
+	OverTCP bool
+	// Metrics includes the endpoints' observability snapshots in the
+	// rendered table.
+	Metrics bool
 }
 
 // EndpointResult is the measured outcome of one endpoint workload run.
 type EndpointResult struct {
 	Config     EndpointConfig
-	Msgs       int           // round trips completed across all sessions
-	Elapsed    time.Duration // wall time for the whole run
-	MsgsPerSec float64       // messages (not round trips) per second
-	Rekeys     int64         // rekey proposals drawn during the run
-	CacheSrv   int           // versions cached by the server rotation
-	CacheCli   int           // versions cached by the client rotation
+	Msgs       int              // round trips completed across all sessions
+	Elapsed    time.Duration    // wall time for the whole run
+	MsgsPerSec float64          // messages (not round trips) per second
+	Rekeys     uint64           // completed rekey handshakes (one rekey point per side; server side counted)
+	CacheSrv   int              // versions cached by the server endpoint
+	CacheCli   int              // versions cached by the client endpoint
+	SrvMetrics protoobf.Metrics // server endpoint snapshot at the end of the run
+	CliMetrics protoobf.Metrics // client endpoint snapshot at the end of the run
 }
 
-// RunEndpoint drives the many-sessions-one-family workload.
-func RunEndpoint(cfg EndpointConfig) (*EndpointResult, error) {
+// RunEndpoint drives the many-sessions-one-family workload. The context
+// cancels the run cooperatively: sessions stop between round trips, the
+// TCP listener (if any) closes, and the prefetch daemons exit before
+// the function returns.
+func RunEndpoint(ctx context.Context, cfg EndpointConfig) (*EndpointResult, error) {
 	if cfg.Sessions <= 0 {
 		cfg.Sessions = 16
 	}
@@ -67,49 +88,71 @@ func RunEndpoint(cfg EndpointConfig) (*EndpointResult, error) {
 	if cfg.PerNode <= 0 {
 		cfg.PerNode = 2
 	}
-	opts := core.ObfuscationOptions{PerNode: cfg.PerNode, Seed: cfg.Seed}
-	rotSrv, err := core.NewRotationCache(sessionSpec, opts, cfg.Window, cfg.Shards)
-	if err != nil {
-		return nil, err
-	}
-	rotCli, err := core.NewRotationCache(sessionSpec, opts, cfg.Window, cfg.Shards)
-	if err != nil {
-		return nil, err
-	}
+	opts := protoobf.Options{PerNode: cfg.PerNode, Seed: cfg.Seed}
 
 	genesis := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 	interval := time.Minute
 	clock := sched.NewFakeClock(genesis)
 	schedule := sched.New(genesis, interval).WithClock(clock.Now)
 
-	var rekeys atomic.Int64
-	seedSource := func() int64 { return 0x5EED0 + rekeys.Add(1) }
+	eopts := []protoobf.Option{
+		protoobf.WithSchedule(schedule),
+		protoobf.WithVersionCache(cfg.Window, cfg.Shards),
+	}
+	if cfg.RekeyEvery > 0 {
+		eopts = append(eopts, protoobf.WithRekeyEvery(cfg.RekeyEvery))
+	}
+	if cfg.Prefetch > 0 {
+		eopts = append(eopts, protoobf.WithPrefetch(cfg.Prefetch))
+	}
+	epSrv, err := protoobf.NewEndpoint(sessionSpec, opts, eopts...)
+	if err != nil {
+		return nil, err
+	}
+	epCli, err := protoobf.NewEndpoint(sessionSpec, opts, eopts...)
+	if err != nil {
+		return nil, err
+	}
 
-	o := session.Options{
-		Schedule:   schedule,
-		RekeyEvery: cfg.RekeyEvery,
-		SeedSource: seedSource,
+	if cfg.Prefetch > 0 {
+		// The fake clock never fires the daemons' boundary timers, so
+		// their priming pass is the one that matters: with depth >=
+		// epochs it pre-compiles the whole run before traffic starts.
+		// Wait for that first pass on both endpoints so the workload
+		// measures prefetched boundaries, not a race with the daemon.
+		pctx, pcancel := context.WithCancel(ctx)
+		var daemons []*protoobf.Prefetcher
+		// Cancel strictly before waiting: a deferred Wait ahead of the
+		// cancel would park forever on a daemon sleeping to the next
+		// (fake-clock) boundary.
+		defer func() {
+			pcancel()
+			for _, pf := range daemons {
+				pf.Wait()
+			}
+		}()
+		for _, ep := range []*protoobf.Endpoint{epSrv, epCli} {
+			pf, err := ep.StartPrefetch(pctx)
+			if err != nil {
+				return nil, err
+			}
+			daemons = append(daemons, pf)
+		}
+		for _, ep := range []*protoobf.Endpoint{epSrv, epCli} {
+			for ep.Metrics().Prefetch.Cycles == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
 	}
-	type pair struct{ cli, srv *session.Conn }
-	pairs := make([]pair, cfg.Sessions)
-	for i := range pairs {
-		ca, cb := session.NewDuplex()
-		cli, err := session.NewConnOpts(ca, rotCli.View(), o)
-		if err != nil {
-			return nil, err
-		}
-		srv, err := session.NewConnOpts(cb, rotSrv.View(), o)
-		if err != nil {
-			return nil, err
-		}
-		pairs[i] = pair{cli: cli, srv: srv}
+
+	pairs, shutdown, err := mintPairs(ctx, cfg, epSrv, epCli)
+	if err != nil {
+		return nil, err
 	}
-	defer func() {
-		for _, p := range pairs {
-			p.cli.Release()
-			p.srv.Release()
-		}
-	}()
+	defer shutdown()
 
 	start := time.Now()
 	trips := 0
@@ -121,9 +164,12 @@ func RunEndpoint(cfg EndpointConfig) (*EndpointResult, error) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				p := pairs[i]
 				for m := 0; m < cfg.MsgsPerEpoch; m++ {
-					if err := sessionTrip(p.cli, p.srv, uint64(e*cfg.MsgsPerEpoch+m)); err != nil {
+					err := ctx.Err()
+					if err == nil {
+						err = pairs[i].trip(uint64(e*cfg.MsgsPerEpoch + m))
+					}
+					if err != nil {
 						errMu.Lock()
 						if firstErr == nil {
 							firstErr = fmt.Errorf("session %d epoch %d trip %d: %w", i, e, m, err)
@@ -143,15 +189,169 @@ func RunEndpoint(cfg EndpointConfig) (*EndpointResult, error) {
 	}
 	elapsed := time.Since(start)
 
+	srvM, cliM := epSrv.Metrics(), epCli.Metrics()
 	return &EndpointResult{
 		Config:     cfg,
 		Msgs:       trips,
 		Elapsed:    elapsed,
 		MsgsPerSec: float64(2*trips) / elapsed.Seconds(),
-		Rekeys:     rekeys.Load(),
-		CacheSrv:   rotSrv.CacheLen(),
-		CacheCli:   rotCli.CacheLen(),
+		// One completed handshake applies exactly one rekey point on
+		// each side's rotation; the server-side count net of rollbacks
+		// is the number of handshakes (summing both sides would
+		// double-count, and a rolled-back point never completed).
+		Rekeys:     srvM.Rotation.Rekeys - srvM.Rotation.RekeyRollbacks,
+		CacheSrv:   srvM.Rotation.Cache.Len,
+		CacheCli:   cliM.Rotation.Cache.Len,
+		SrvMetrics: srvM,
+		CliMetrics: cliM,
 	}, nil
+}
+
+// workPair is one client/server session pair plus the trip that drives
+// a round trip through it.
+type workPair struct {
+	trip func(seqno uint64) error
+}
+
+// mintPairs builds the configured number of session pairs — in-memory
+// duplexes by default, loopback TCP through Endpoint.Listen/Dial when
+// cfg.OverTCP — and returns the shutdown that tears everything down
+// (sessions, listener, server goroutines) exactly once.
+func mintPairs(ctx context.Context, cfg EndpointConfig, epSrv, epCli *protoobf.Endpoint) ([]workPair, func(), error) {
+	if !cfg.OverTCP {
+		type duo struct{ cli, srv *session.Conn }
+		duos := make([]duo, 0, cfg.Sessions)
+		shutdown := func() {
+			for _, d := range duos {
+				d.cli.Release()
+				d.srv.Release()
+			}
+		}
+		pairs := make([]workPair, 0, cfg.Sessions)
+		for i := 0; i < cfg.Sessions; i++ {
+			ca, cb := protoobf.Pipe()
+			cli, err := epCli.Session(ca)
+			if err != nil {
+				shutdown()
+				return nil, nil, err
+			}
+			srv, err := epSrv.Session(cb)
+			if err != nil {
+				cli.Release()
+				shutdown()
+				return nil, nil, err
+			}
+			d := duo{cli: cli, srv: srv}
+			duos = append(duos, d)
+			pairs = append(pairs, workPair{trip: func(seqno uint64) error {
+				return sessionTrip(d.cli, d.srv, seqno)
+			}})
+		}
+		return pairs, shutdown, nil
+	}
+
+	ln, err := epSrv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	// A cancelled run must not strand the accept loop: closing the
+	// listener unblocks Accept with net.ErrClosed.
+	stopWatch := context.AfterFunc(ctx, func() { ln.Close() })
+
+	var srvWG sync.WaitGroup
+	srvWG.Add(1)
+	go func() {
+		defer srvWG.Done()
+		for {
+			s, err := ln.Accept()
+			if err != nil {
+				if errors.Is(err, protoobf.ErrSessionSetup) {
+					continue // one bad peer does not stop the listener
+				}
+				return // listener closed (or fatal): end the loop
+			}
+			srvWG.Add(1)
+			go func() {
+				defer srvWG.Done()
+				defer s.Close()
+				serveEcho(s)
+			}()
+		}
+	}()
+
+	clients := make([]*session.Conn, 0, cfg.Sessions)
+	shutdown := func() {
+		// Order matters: closing the clients EOFs the per-session echo
+		// loops, closing the listener ends the accept loop, and the wait
+		// guarantees no server goroutine outlives the run — the leak the
+		// bench tool used to be able to exit with.
+		for _, c := range clients {
+			c.Close()
+		}
+		stopWatch()
+		ln.Close()
+		srvWG.Wait()
+	}
+	pairs := make([]workPair, 0, cfg.Sessions)
+	for i := 0; i < cfg.Sessions; i++ {
+		cli, err := epCli.Dial(ctx, "tcp", ln.Addr().String())
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		clients = append(clients, cli)
+		c := cli
+		pairs = append(pairs, workPair{trip: func(seqno uint64) error {
+			return clientTrip(c, seqno)
+		}})
+	}
+	return pairs, shutdown, nil
+}
+
+// serveEcho answers each telemetry message with an ack carrying the
+// same seqno, until the stream ends.
+func serveEcho(s *session.Conn) {
+	for {
+		got, err := s.Recv()
+		if err != nil {
+			return // EOF on client close, net.ErrClosed on teardown
+		}
+		seqno, err := got.Scope().GetUint("seqno")
+		if err != nil {
+			return
+		}
+		ack, err := buildTelemetry(s, 99, seqno, "ack")
+		if err != nil {
+			return
+		}
+		if err := s.Send(ack); err != nil {
+			return
+		}
+	}
+}
+
+// clientTrip is the client half of one TCP round trip: send a request,
+// read the echoed ack, verify the seqno survived both dialects.
+func clientTrip(c *session.Conn, seqno uint64) error {
+	m, err := buildTelemetry(c, 42, seqno, "ok")
+	if err != nil {
+		return err
+	}
+	if err := c.Send(m); err != nil {
+		return err
+	}
+	got, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	v, err := got.Scope().GetUint("seqno")
+	if err != nil {
+		return err
+	}
+	if v != seqno {
+		return fmt.Errorf("acked seqno %d, want %d", v, seqno)
+	}
+	return nil
 }
 
 // Table renders the endpoint workload result.
@@ -160,16 +360,34 @@ func (r *EndpointResult) Table() string {
 	if r.Config.Shards > 0 {
 		shards = fmt.Sprintf("%d", r.Config.Shards)
 	}
+	transport := "in-memory duplex"
+	if r.Config.OverTCP {
+		transport = "loopback TCP"
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "endpoint workload: many sessions, one dialect family (perNode=%d, seed=%d)\n",
 		r.Config.PerNode, r.Config.Seed)
-	fmt.Fprintf(&sb, "  concurrent sessions %d (sharing one rotation per side, shards=%s)\n",
-		r.Config.Sessions, shards)
+	fmt.Fprintf(&sb, "  concurrent sessions %d over %s (sharing one endpoint per side, shards=%s)\n",
+		r.Config.Sessions, transport, shards)
 	fmt.Fprintf(&sb, "  epochs crossed      %d\n", r.Config.Epochs)
 	fmt.Fprintf(&sb, "  round trips         %d (%d messages)\n", r.Msgs, 2*r.Msgs)
 	fmt.Fprintf(&sb, "  elapsed             %v\n", r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&sb, "  throughput          %.0f msgs/s (incl. shared dialect fetches at rotations)\n", r.MsgsPerSec)
-	fmt.Fprintf(&sb, "  rekeys proposed     %d (RekeyEvery=%d, per-session views)\n", r.Rekeys, r.Config.RekeyEvery)
+	fmt.Fprintf(&sb, "  rekeys completed    %d (RekeyEvery=%d, per-session views)\n", r.Rekeys, r.Config.RekeyEvery)
 	fmt.Fprintf(&sb, "  versions cached     server=%d client=%d (window=%d)\n", r.CacheSrv, r.CacheCli, r.Config.Window)
+	if r.Config.Prefetch > 0 {
+		fmt.Fprintf(&sb, "  prefetch            depth=%d, demand compiles server=%d client=%d (prefetched %d+%d)\n",
+			r.Config.Prefetch,
+			r.SrvMetrics.Rotation.DemandCompiles(), r.CliMetrics.Rotation.DemandCompiles(),
+			r.SrvMetrics.Rotation.PrefetchCompiles, r.CliMetrics.Rotation.PrefetchCompiles)
+	}
+	if r.Config.Metrics {
+		fmt.Fprintf(&sb, "server endpoint metrics:\n%s", indent(r.SrvMetrics.String()))
+		fmt.Fprintf(&sb, "client endpoint metrics:\n%s", indent(r.CliMetrics.String()))
+	}
 	return sb.String()
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ") + "\n"
 }

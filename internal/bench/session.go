@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"protoobf/internal/core"
+	"protoobf/internal/msgtree"
 	"protoobf/internal/session"
 	"protoobf/internal/session/sched"
 )
@@ -59,8 +61,9 @@ type SessionResult struct {
 	CacheB     int           // same for peer B
 }
 
-// RunSession drives the scheduled-rotation workload.
-func RunSession(cfg SessionConfig) (*SessionResult, error) {
+// RunSession drives the scheduled-rotation workload. The context
+// cancels the run cooperatively between round trips.
+func RunSession(ctx context.Context, cfg SessionConfig) (*SessionResult, error) {
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = 32
 	}
@@ -112,6 +115,9 @@ func RunSession(cfg SessionConfig) (*SessionResult, error) {
 	trips := 0
 	for e := 0; e < cfg.Epochs; e++ {
 		for i := 0; i < cfg.MsgsPerEpoch; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if err := sessionTrip(a, b, uint64(trips)); err != nil {
 				return nil, fmt.Errorf("epoch %d trip %d: %w", e, i, err)
 			}
@@ -132,23 +138,33 @@ func RunSession(cfg SessionConfig) (*SessionResult, error) {
 	}, nil
 }
 
-// sessionTrip sends one message A→B and an ack B→A.
-func sessionTrip(a, b *session.Conn, seqno uint64) error {
-	m, err := a.NewMessage()
+// buildTelemetry composes one telemetry message under c's current
+// dialect.
+func buildTelemetry(c *session.Conn, device, seqno uint64, status string) (*msgtree.Message, error) {
+	m, err := c.NewMessage()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	s := m.Scope()
-	if err := s.SetUint("device", 42); err != nil {
-		return err
+	if err := s.SetUint("device", device); err != nil {
+		return nil, err
 	}
 	if err := s.SetUint("seqno", seqno); err != nil {
-		return err
+		return nil, err
 	}
-	if err := s.SetString("status", "ok"); err != nil {
-		return err
+	if err := s.SetString("status", status); err != nil {
+		return nil, err
 	}
 	if err := s.SetBytes("sig", nil); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// sessionTrip sends one message A→B and an ack B→A.
+func sessionTrip(a, b *session.Conn, seqno uint64) error {
+	m, err := buildTelemetry(a, 42, seqno, "ok")
+	if err != nil {
 		return err
 	}
 	if err := a.Send(m); err != nil {
@@ -165,21 +181,8 @@ func sessionTrip(a, b *session.Conn, seqno uint64) error {
 	if v != seqno {
 		return fmt.Errorf("decoded seqno %d, want %d", v, seqno)
 	}
-	ack, err := b.NewMessage()
+	ack, err := buildTelemetry(b, 99, seqno, "ack")
 	if err != nil {
-		return err
-	}
-	as := ack.Scope()
-	if err := as.SetUint("device", 99); err != nil {
-		return err
-	}
-	if err := as.SetUint("seqno", seqno); err != nil {
-		return err
-	}
-	if err := as.SetString("status", "ack"); err != nil {
-		return err
-	}
-	if err := as.SetBytes("sig", nil); err != nil {
 		return err
 	}
 	if err := b.Send(ack); err != nil {

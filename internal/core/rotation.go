@@ -9,6 +9,7 @@ import (
 
 	"protoobf/internal/graph"
 	"protoobf/internal/lru"
+	"protoobf/internal/metrics"
 )
 
 // DefaultVersionWindow bounds how many compiled protocol versions a
@@ -66,6 +67,11 @@ type Rotation struct {
 	// self is the default view behind the Rotation's own Versioner
 	// methods (legacy single-owner use).
 	self View
+
+	// stats counts compile activity: atomic adds on the compile path,
+	// snapshotted by Stats. Cache traffic is counted by the cache
+	// itself.
+	stats metrics.RotationCounters
 
 	// Share accounting for the deprecated public constructors: a
 	// rekey-enabled session must own its Rotation exclusively because it
@@ -133,6 +139,7 @@ func NewRotationCache(source string, opts ObfuscationOptions, window, shards int
 		}, nil),
 	}
 	r.self.rot = r
+	r.stats.Compiles.Add(1) // the eager epoch-0 probe above
 	r.cache.Put(versionKey{family: opts.Seed, epoch: 0}, p)
 	return r, nil
 }
@@ -187,6 +194,38 @@ func (r *Rotation) CacheLen() int {
 	return r.cache.Len()
 }
 
+// Stats snapshots the Rotation's compile activity and its shared
+// version cache's traffic. Snapshots are plain values; diff two to
+// measure an interval.
+func (r *Rotation) Stats() metrics.RotationStats {
+	st := r.stats.Snapshot()
+	st.Cache = r.cache.Stats()
+	return st
+}
+
+// Prefetch compiles the given epoch's version of the base family ahead
+// of need — what a rotation daemon calls before the epoch boundary so
+// sessions never compile on their hot path. It reports whether this
+// call performed the compile (false: the version was already cached or
+// another goroutine's compile was joined). Prefetched compiles are
+// attributed separately in Stats (RotationStats.PrefetchCompiles), so
+// observers can verify that boundary crossings cost sessions zero
+// demand compiles.
+//
+// Prefetch resolves the family through the default view, exactly like
+// Version: endpoints never rekey their default view, so this is the
+// base family every non-rekeyed session of the endpoint speaks. A
+// session that negotiated an in-band rekey switched its own view to a
+// fresh family — its post-boundary epochs are keyed under that family
+// and are never served these base-family entries.
+func (r *Rotation) Prefetch(epoch uint64) (compiled bool, err error) {
+	r.self.mu.Lock()
+	family := r.self.familySeedLocked(epoch)
+	r.self.mu.Unlock()
+	_, compiled, err = r.versionFor(family, epoch, true)
+	return compiled, err
+}
+
 // Version returns the protocol of the given epoch under the Rotation's
 // default view, compiling it on first use (or again after eviction).
 // The same epoch always yields the same transformed graph on every peer
@@ -225,22 +264,26 @@ func (r *Rotation) ControlPad(epoch uint64, n int) []byte {
 // versionFor returns the compiled version of (family, epoch), serving
 // it from the sharded cache when present. Misses compile outside any
 // cache lock; concurrent misses of the same key share one compile.
-func (r *Rotation) versionFor(family int64, epoch uint64) (*Protocol, error) {
+// compiled reports whether this call performed the compile itself;
+// prefetch attributes that compile to a prefetcher in the stats.
+func (r *Rotation) versionFor(family int64, epoch uint64, prefetch bool) (p *Protocol, compiled bool, err error) {
 	k := versionKey{family: family, epoch: epoch}
 	if p, ok := r.cache.Get(k); ok {
-		return p, nil
+		return p, false, nil
 	}
 	r.flightMu.Lock()
 	if c, ok := r.flight[k]; ok {
 		r.flightMu.Unlock()
+		r.stats.CompileDedup.Add(1)
 		<-c.done
-		return c.p, c.err
+		return c.p, false, c.err
 	}
 	// Re-check under the flight lock: the previous flight for this key
 	// may have completed (and cached) between our miss and the lock.
-	if p, ok := r.cache.Get(k); ok {
+	// Quiet lookup — this is still the same logical miss counted above.
+	if p, ok := r.cache.GetQuiet(k); ok {
 		r.flightMu.Unlock()
-		return p, nil
+		return p, false, nil
 	}
 	c := &flightCall{done: make(chan struct{})}
 	if r.flight == nil {
@@ -251,8 +294,13 @@ func (r *Rotation) versionFor(family int64, epoch uint64) (*Protocol, error) {
 
 	opts := r.opts
 	opts.Seed = deriveSeed(family, epoch)
-	p, err := Compile(r.source, opts)
+	r.stats.Compiles.Add(1)
+	if prefetch {
+		r.stats.PrefetchCompiles.Add(1)
+	}
+	p, err = Compile(r.source, opts)
 	if err != nil {
+		r.stats.CompileErrors.Add(1)
 		err = fmt.Errorf("rotation epoch %d: %w", epoch, err)
 	} else {
 		r.cache.Put(k, p)
@@ -263,7 +311,7 @@ func (r *Rotation) versionFor(family int64, epoch uint64) (*Protocol, error) {
 	delete(r.flight, k)
 	r.flightMu.Unlock()
 	close(c.done)
-	return p, err
+	return p, true, err
 }
 
 // View is one session's window onto a shared Rotation: it resolves
@@ -290,7 +338,8 @@ func (v *View) Version(epoch uint64) (*Protocol, error) {
 	v.mu.Lock()
 	family := v.familySeedLocked(epoch)
 	v.mu.Unlock()
-	return v.rot.versionFor(family, epoch)
+	p, _, err := v.rot.versionFor(family, epoch, false)
+	return p, err
 }
 
 // Graph returns the transformed message-format graph of the given
@@ -322,6 +371,7 @@ func (v *View) Rekey(from uint64, seed int64) error {
 	} else {
 		v.rekeys = append(v.rekeys, rekeyPoint{from: from, seed: seed})
 	}
+	v.rot.stats.Rekeys.Add(1)
 	return nil
 }
 
@@ -338,6 +388,7 @@ func (v *View) DropRekey(from uint64, seed int64) error {
 		return fmt.Errorf("rotation: no rekey point (%d, %d) to drop", from, seed)
 	}
 	v.rekeys = v.rekeys[:n-1]
+	v.rot.stats.RekeyRollbacks.Add(1)
 	return nil
 }
 

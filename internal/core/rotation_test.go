@@ -335,3 +335,180 @@ func TestAttachSharing(t *testing.T) {
 		t.Fatalf("attach after detach: %v", err)
 	}
 }
+
+// TestRotationStats pins the compile accounting the observability layer
+// reports: the eager epoch-0 probe counts as one compile, every further
+// epoch's first Version adds one, repeat lookups are pure cache hits,
+// and rekeys/rollbacks on any view are tallied on the shared Rotation.
+func TestRotationStats(t *testing.T) {
+	r, err := NewRotation(rotSpec, ObfuscationOptions{PerNode: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Compiles; got != 1 {
+		t.Fatalf("compiles after construction = %d, want 1 (the epoch-0 probe)", got)
+	}
+	for e := uint64(1); e <= 3; e++ {
+		if _, err := r.Version(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	if st.Compiles != 4 {
+		t.Fatalf("compiles after epochs 1..3 = %d, want 4", st.Compiles)
+	}
+	if st.PrefetchCompiles != 0 {
+		t.Fatalf("prefetch compiles = %d with no prefetcher, want 0", st.PrefetchCompiles)
+	}
+	// Warm lookups: hits only, no new compiles.
+	for e := uint64(0); e <= 3; e++ {
+		if _, err := r.Version(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2 := r.Stats()
+	if st2.Compiles != st.Compiles {
+		t.Fatalf("warm lookups compiled: %d -> %d", st.Compiles, st2.Compiles)
+	}
+	if st2.Cache.Hits <= st.Cache.Hits {
+		t.Fatalf("warm lookups did not hit the cache: %d -> %d", st.Cache.Hits, st2.Cache.Hits)
+	}
+
+	v := r.View()
+	if err := v.Rekey(5, 0xABC); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.DropRekey(5, 0xABC); err != nil {
+		t.Fatal(err)
+	}
+	st3 := r.Stats()
+	if st3.Rekeys != 1 || st3.RekeyRollbacks != 1 {
+		t.Fatalf("rekeys/rollbacks = %d/%d, want 1/1", st3.Rekeys, st3.RekeyRollbacks)
+	}
+}
+
+// TestRotationPrefetch: a prefetched epoch is attributed to the
+// prefetcher, and the session-facing Version that follows is a pure
+// cache hit — zero demand compiles, the property the epoch-boundary
+// daemon exists for.
+func TestRotationPrefetch(t *testing.T) {
+	r, err := NewRotation(rotSpec, ObfuscationOptions{PerNode: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := r.Prefetch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compiled {
+		t.Fatal("first Prefetch(1) reported compiled=false")
+	}
+	compiled, err = r.Prefetch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled {
+		t.Fatal("second Prefetch(1) recompiled a cached version")
+	}
+	before := r.Stats()
+	p, err := r.Version(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := r.Stats()
+	if after.Compiles != before.Compiles {
+		t.Fatalf("Version(1) after Prefetch(1) compiled (%d -> %d)", before.Compiles, after.Compiles)
+	}
+	if after.DemandCompiles() != 1 { // the construction-time epoch-0 probe only
+		t.Fatalf("demand compiles = %d, want 1", after.DemandCompiles())
+	}
+	// The prefetched version is the one served.
+	direct, err := r.Version(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != direct {
+		t.Fatal("Prefetch and Version disagree on the compiled version")
+	}
+}
+
+// TestRotationPrefetchRekeyedViewUnaffected: prefetching the base
+// family must not leak into a rekeyed view — its epochs are keyed under
+// the fresh family and compile (or hit) independently.
+func TestRotationPrefetchRekeyedViewUnaffected(t *testing.T) {
+	r, err := NewRotation(rotSpec, ObfuscationOptions{PerNode: 1, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := r.View()
+	if err := v.Rekey(2, 0xF00); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Prefetch(2); err != nil {
+		t.Fatal(err)
+	}
+	base, err := r.Version(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rekeyed, err := v.Version(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == rekeyed {
+		t.Fatal("rekeyed view was served the prefetched base-family version")
+	}
+}
+
+// TestRotationCompileDedup: concurrent first lookups of one version
+// share a single compile; the joiners are counted as dedup hits.
+func TestRotationCompileDedup(t *testing.T) {
+	r, err := NewRotation(rotSpec, ObfuscationOptions{PerNode: 2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Version(1); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Compiles != 2 { // epoch-0 probe + one shared compile of epoch 1
+		t.Fatalf("compiles = %d, want 2 (one shared compile)", st.Compiles)
+	}
+	if st.CompileDedup+st.Cache.Hits < workers-1 {
+		t.Fatalf("dedup (%d) + hits (%d) cannot cover the %d joining workers",
+			st.CompileDedup, st.Cache.Hits, workers-1)
+	}
+}
+
+// TestRotationMissAccounting: one cold lookup is one miss — the
+// singleflight re-check must not double-count it — and warm lookups
+// are pure hits, so hit-rate arithmetic stays honest.
+func TestRotationMissAccounting(t *testing.T) {
+	r, err := NewRotation(rotSpec, ObfuscationOptions{PerNode: 1, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := r.Stats()
+	if _, err := r.Version(1); err != nil { // cold: miss + compile
+		t.Fatal(err)
+	}
+	if _, err := r.Version(1); err != nil { // warm: hit
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if d := st.Cache.Misses - base.Cache.Misses; d != 1 {
+		t.Fatalf("cold lookup recorded %d misses, want 1", d)
+	}
+	if d := st.Cache.Hits - base.Cache.Hits; d != 1 {
+		t.Fatalf("warm lookup recorded %d hits, want 1", d)
+	}
+}

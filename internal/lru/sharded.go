@@ -3,6 +3,8 @@ package lru
 import (
 	"sync"
 	"sync/atomic"
+
+	"protoobf/internal/metrics"
 )
 
 // Sharded is a concurrency-safe bounded cache built from N independently
@@ -36,12 +38,15 @@ type Sharded[K comparable, V any] struct {
 }
 
 // shard pads each lock to its own cache line so neighboring shards do
-// not false-share under write-heavy load.
+// not false-share under write-heavy load. The traffic counters live in
+// the shard for the same reason: a Get on one shard bumps an atomic
+// nobody else's cache line holds.
 type shard[K comparable, V any] struct {
 	mu       sync.Mutex
 	c        *Cache[K, V]
 	inactive bool // deactivated by SetCap; writers must re-route
-	_        [64 - 24]byte
+	stats    metrics.CacheCounters
+	_        [64 - 48]byte
 }
 
 // NewSharded returns a sharded cache of the given total capacity
@@ -59,7 +64,15 @@ func NewSharded[K comparable, V any](shards, capacity int, hash func(K) uint64, 
 		cap:    capacity,
 	}
 	for i := range s.shards {
-		s.shards[i].c = New[K, V](0, onEvict)
+		// Per-shard eviction hook: count the eviction on the owning
+		// shard's counters, then run the caller's callback.
+		sh := &s.shards[i]
+		sh.c = New[K, V](0, func(k K, v V) {
+			sh.stats.Evictions.Add(1)
+			if onEvict != nil {
+				onEvict(k, v)
+			}
+		})
 	}
 	s.applyCap(capacity)
 	return s
@@ -77,12 +90,18 @@ func (s *Sharded[K, V]) shardOf(k K) *shard[K, V] {
 }
 
 // Get returns the value under k, marking it most recently used in its
-// shard. Only the owning shard's lock is taken.
+// shard. Only the owning shard's lock is taken; the hit/miss counters
+// are bumped outside it (one atomic add, no allocation).
 func (s *Sharded[K, V]) Get(k K) (V, bool) {
 	sh := s.shardOf(k)
 	sh.mu.Lock()
 	v, ok := sh.c.Get(k)
 	sh.mu.Unlock()
+	if ok {
+		sh.stats.Hits.Add(1)
+	} else {
+		sh.stats.Misses.Add(1)
+	}
 	return v, ok
 }
 
@@ -102,6 +121,18 @@ func (s *Sharded[K, V]) Put(k K, v V) {
 		sh.mu.Unlock()
 		return
 	}
+}
+
+// GetQuiet is Get without touching the hit/miss counters: for callers
+// re-checking the cache as part of one logical lookup whose first Get
+// already counted the outcome (the singleflight compile path), so a
+// single miss is never reported twice. Recency is still updated.
+func (s *Sharded[K, V]) GetQuiet(k K) (V, bool) {
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	v, ok := sh.c.Get(k)
+	sh.mu.Unlock()
+	return v, ok
 }
 
 // Delete removes k without invoking the eviction callback.
@@ -139,6 +170,31 @@ func (s *Sharded[K, V]) Len() int {
 
 // Cap returns the configured total bound (<= 0 means unbounded).
 func (s *Sharded[K, V]) Cap() int { return s.cap }
+
+// Stats snapshots the cache's traffic: totals and the per-shard
+// breakdown, plus the live geometry. The snapshot is not atomic across
+// shards — concurrent traffic may land between shard reads — but every
+// counter individually is monotonic and the per-shard rows always sum
+// to the totals of the same snapshot.
+func (s *Sharded[K, V]) Stats() metrics.CacheStats {
+	st := metrics.CacheStats{
+		Cap:      s.cap,
+		Shards:   len(s.shards),
+		PerShard: make([]metrics.CacheShardStats, len(s.shards)),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		row := sh.stats.Snapshot()
+		st.PerShard[i] = row
+		st.Hits += row.Hits
+		st.Misses += row.Misses
+		st.Evictions += row.Evictions
+		sh.mu.Lock()
+		st.Len += sh.c.Len()
+		sh.mu.Unlock()
+	}
+	return st
+}
 
 // Shards returns the construction-time shard count.
 func (s *Sharded[K, V]) Shards() int { return len(s.shards) }

@@ -193,3 +193,81 @@ func BenchmarkShardedGet(b *testing.B) {
 		})
 	}
 }
+
+// TestShardedStats pins the counter semantics the observability layer
+// reports: hits and misses count Get outcomes, evictions count only
+// bound-driven removals, per-shard rows sum to the totals, and the
+// geometry fields reflect the live configuration.
+func TestShardedStats(t *testing.T) {
+	s := shardedForTest(4, 0, nil)
+	s.Get(1) // miss
+	s.Put(1, "one")
+	s.Put(2, "two")
+	s.Get(1) // hit
+	s.Get(2) // hit
+	s.Get(9) // miss
+
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/2", st.Hits, st.Misses)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d on an unbounded cache, want 0", st.Evictions)
+	}
+	if st.Len != s.Len() || st.Cap != 0 || st.Shards != 4 {
+		t.Fatalf("geometry = len %d cap %d shards %d, want %d/0/4", st.Len, st.Cap, st.Shards, s.Len())
+	}
+	var h, m, e uint64
+	for _, row := range st.PerShard {
+		h += row.Hits
+		m += row.Misses
+		e += row.Evictions
+	}
+	if h != st.Hits || m != st.Misses || e != st.Evictions {
+		t.Fatalf("per-shard rows (%d/%d/%d) do not sum to totals (%d/%d/%d)",
+			h, m, e, st.Hits, st.Misses, st.Evictions)
+	}
+	if r := st.HitRate(); r != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", r)
+	}
+
+	// Bound-driven removals do count: a single-shard cap-2 cache must
+	// record exactly one eviction for three inserts.
+	b := shardedForTest(1, 2, nil)
+	b.Put(1, "one")
+	b.Put(2, "two")
+	b.Put(3, "three")
+	if ev := b.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d after overflowing cap-2 by one, want 1", ev)
+	}
+}
+
+// TestShardedStatsExplicitRemovalsNotCounted: Delete and DeleteIf are
+// invalidation, not LRU pressure; they must not show up as evictions.
+func TestShardedStatsExplicitRemovalsNotCounted(t *testing.T) {
+	s := shardedForTest(2, 0, nil)
+	s.Put(1, "one")
+	s.Put(2, "two")
+	s.Delete(1)
+	s.DeleteIf(func(uint64, string) bool { return true }, nil)
+	if ev := s.Stats().Evictions; ev != 0 {
+		t.Fatalf("evictions = %d after explicit removals only, want 0", ev)
+	}
+}
+
+// TestShardedGetQuiet: the counter-free lookup serves values and
+// updates recency but records neither hits nor misses.
+func TestShardedGetQuiet(t *testing.T) {
+	s := shardedForTest(2, 0, nil)
+	s.Put(1, "one")
+	if v, ok := s.GetQuiet(1); !ok || v != "one" {
+		t.Fatalf("GetQuiet(1) = %q, %v", v, ok)
+	}
+	if _, ok := s.GetQuiet(2); ok {
+		t.Fatal("GetQuiet hit on absent key")
+	}
+	st := s.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("GetQuiet counted traffic: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+}

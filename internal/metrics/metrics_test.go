@@ -1,9 +1,10 @@
-package metrics
+package metrics_test
 
 import (
 	"testing"
 
 	"protoobf/internal/codegen"
+	"protoobf/internal/metrics"
 	"protoobf/internal/protocols/modbus"
 	"protoobf/internal/rng"
 	"protoobf/internal/transform"
@@ -23,7 +24,7 @@ func unreached() { a() }
 `
 
 func TestAnalyzeTiny(t *testing.T) {
-	p, err := Analyze(tiny, "Parse")
+	p, err := metrics.Analyze(tiny, "Parse")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func Parse() { a() }
 func a()     { b() }
 func b()     { a() }
 `
-	p, err := Analyze(src, "Parse")
+	p, err := metrics.Analyze(src, "Parse")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func (t *T) Run() { helper() }
 func helper()     {}
 func Parse()      { t := &T{}; t.Run() }
 `
-	p, err := Analyze(src, "Parse")
+	p, err := metrics.Analyze(src, "Parse")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,19 +82,19 @@ func Parse()      { t := &T{}; t.Run() }
 }
 
 func TestAnalyzeBadSource(t *testing.T) {
-	if _, err := Analyze("not go", "Parse"); err == nil {
+	if _, err := metrics.Analyze("not go", "Parse"); err == nil {
 		t.Error("invalid source accepted")
 	}
 }
 
 func TestRatioAgainstBaseline(t *testing.T) {
-	base := Potency{Lines: 100, Structs: 10, CallGraphSize: 20, CallGraphDepth: 5}
-	obf := Potency{Lines: 200, Structs: 18, CallGraphSize: 52, CallGraphDepth: 10}
+	base := metrics.Potency{Lines: 100, Structs: 10, CallGraphSize: 20, CallGraphDepth: 5}
+	obf := metrics.Potency{Lines: 200, Structs: 18, CallGraphSize: 52, CallGraphDepth: 10}
 	r := obf.Ratio(base)
 	if r.Lines != 2.0 || r.Structs != 1.8 || r.CallGraphSize != 2.6 || r.CallGraphDepth != 2.0 {
 		t.Errorf("Ratio = %+v", r)
 	}
-	zero := obf.Ratio(Potency{})
+	zero := obf.Ratio(metrics.Potency{})
 	if zero.Lines != 0 {
 		t.Error("division by zero not guarded")
 	}
@@ -111,7 +112,7 @@ func TestPotencyGrowsWithObfuscation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := Analyze(plainSrc, "Parse")
+	base, err := metrics.Analyze(plainSrc, "Parse")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestPotencyGrowsWithObfuscation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	obf, err := Analyze(obfSrc, "Parse")
+	obf, err := metrics.Analyze(obfSrc, "Parse")
 	if err != nil {
 		t.Fatal(err)
 	}

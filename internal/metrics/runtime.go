@@ -1,0 +1,194 @@
+// Runtime observability counters for the rotation control plane.
+//
+// The static half of this package computes the paper's potency metrics
+// on generated source; this half counts what the running system does:
+// dialect compiles, version-cache traffic, prefetch lead, rekeys. The
+// counter blocks are plain structs of atomic.Uint64 so the hot paths
+// (a cache Get, a compile) pay one uncontended atomic add and zero
+// allocations; Snapshot methods copy the counters into plain-value
+// stats structs for callers that render or assert on them.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// CacheCounters counts one cache shard's traffic. The zero value is
+// ready to use. All fields are cumulative since process start.
+type CacheCounters struct {
+	Hits      atomic.Uint64
+	Misses    atomic.Uint64
+	Evictions atomic.Uint64
+}
+
+// Snapshot copies the counters into a plain-value stats struct. The
+// copy is not atomic across fields: concurrent traffic may be counted
+// in one field and not yet in another, which consumers must tolerate
+// (each field individually is monotonic).
+func (c *CacheCounters) Snapshot() CacheShardStats {
+	return CacheShardStats{
+		Hits:      c.Hits.Load(),
+		Misses:    c.Misses.Load(),
+		Evictions: c.Evictions.Load(),
+	}
+}
+
+// CacheShardStats is the traffic of one cache shard at snapshot time.
+type CacheShardStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// CacheStats aggregates a sharded cache at snapshot time: totals across
+// shards, the live geometry, and the per-shard breakdown (balance
+// inspection — a hot shard shows up as one outlier row).
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Len       int // entries cached now
+	Cap       int // configured bound (<= 0 means unbounded)
+	Shards    int // construction-time shard count
+	PerShard  []CacheShardStats
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any traffic.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// RotationCounters counts the compile activity of one dialect family.
+// The zero value is ready to use.
+type RotationCounters struct {
+	// Compiles counts actual Compile invocations (cache misses that did
+	// the work), including those attributed to a prefetcher.
+	Compiles atomic.Uint64
+	// PrefetchCompiles is the subset of Compiles initiated by a
+	// prefetch daemon rather than a session on its hot path.
+	PrefetchCompiles atomic.Uint64
+	// CompileDedup counts lookups that piggybacked on an in-flight
+	// compile of the same version instead of burning their own — the
+	// singleflight wins at an epoch boundary.
+	CompileDedup atomic.Uint64
+	// CompileErrors counts compiles that failed.
+	CompileErrors atomic.Uint64
+	// Rekeys counts rekey points applied across all views.
+	Rekeys atomic.Uint64
+	// RekeyRollbacks counts rekey points dropped again because the
+	// handshake step that should have committed them failed.
+	RekeyRollbacks atomic.Uint64
+}
+
+// Snapshot copies the counters into a RotationStats (without cache
+// stats; the owner fills those in from its cache). PrefetchCompiles is
+// loaded before Compiles: writers bump Compiles first, so this order
+// guarantees Compiles >= PrefetchCompiles within one snapshot and
+// DemandCompiles can never underflow under concurrent prefetching.
+func (c *RotationCounters) Snapshot() RotationStats {
+	prefetch := c.PrefetchCompiles.Load()
+	return RotationStats{
+		Compiles:         c.Compiles.Load(),
+		PrefetchCompiles: prefetch,
+		CompileDedup:     c.CompileDedup.Load(),
+		CompileErrors:    c.CompileErrors.Load(),
+		Rekeys:           c.Rekeys.Load(),
+		RekeyRollbacks:   c.RekeyRollbacks.Load(),
+	}
+}
+
+// RotationStats is one dialect family's compile activity at snapshot
+// time.
+type RotationStats struct {
+	Compiles         uint64
+	PrefetchCompiles uint64
+	CompileDedup     uint64
+	CompileErrors    uint64
+	Rekeys           uint64
+	RekeyRollbacks   uint64
+	Cache            CacheStats
+}
+
+// DemandCompiles returns the compiles a session paid for on its hot
+// path — total compiles minus those a prefetcher performed ahead of
+// need. This is the number an epoch-boundary prefetcher exists to keep
+// at zero.
+func (s RotationStats) DemandCompiles() uint64 {
+	return s.Compiles - s.PrefetchCompiles
+}
+
+// PrefetchCounters counts a prefetch daemon's work. The zero value is
+// ready to use.
+type PrefetchCounters struct {
+	// Cycles counts completed prefetch passes (one per epoch boundary
+	// the daemon woke for, plus the priming pass at start).
+	Cycles atomic.Uint64
+	// Compiled counts versions the daemon compiled strictly before
+	// their epoch began.
+	Compiled atomic.Uint64
+	// Warm counts versions the daemon targeted that were already
+	// compiled (a previous pass, or a session got there first).
+	Warm atomic.Uint64
+	// Late counts versions whose epoch had already begun by the time
+	// the daemon finished with them (including compiles that straddled
+	// their boundary) — a prefetch miss: sessions may have paid or
+	// joined the compile on their hot path.
+	Late atomic.Uint64
+	// Errors counts prefetch compiles that failed.
+	Errors atomic.Uint64
+}
+
+// Snapshot copies the counters into a PrefetchStats.
+func (c *PrefetchCounters) Snapshot() PrefetchStats {
+	return PrefetchStats{
+		Cycles:   c.Cycles.Load(),
+		Compiled: c.Compiled.Load(),
+		Warm:     c.Warm.Load(),
+		Late:     c.Late.Load(),
+		Errors:   c.Errors.Load(),
+	}
+}
+
+// PrefetchStats is a prefetch daemon's work at snapshot time.
+type PrefetchStats struct {
+	Cycles   uint64
+	Compiled uint64
+	Warm     uint64
+	Late     uint64
+	Errors   uint64
+}
+
+// Lead returns the versions that were ready before their epoch began
+// (compiled by the daemon or already warm) — the prefetch hits.
+func (s PrefetchStats) Lead() uint64 { return s.Compiled + s.Warm }
+
+// Snapshot is the top-level observability snapshot of one endpoint:
+// its dialect family's compile/cache activity and its prefetch
+// daemon's work. Snapshots are plain values — diff two to measure an
+// interval.
+type Snapshot struct {
+	Rotation RotationStats
+	Prefetch PrefetchStats
+}
+
+// String renders the snapshot as an indented block, the format the
+// bench tool's -metrics flag prints.
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	r := s.Rotation
+	fmt.Fprintf(&sb, "rotation: compiles=%d (demand=%d prefetch=%d) dedup=%d errors=%d rekeys=%d rollbacks=%d\n",
+		r.Compiles, r.DemandCompiles(), r.PrefetchCompiles, r.CompileDedup, r.CompileErrors, r.Rekeys, r.RekeyRollbacks)
+	c := r.Cache
+	fmt.Fprintf(&sb, "cache:    hits=%d misses=%d evictions=%d hit-rate=%.3f len=%d cap=%d shards=%d\n",
+		c.Hits, c.Misses, c.Evictions, c.HitRate(), c.Len, c.Cap, c.Shards)
+	p := s.Prefetch
+	fmt.Fprintf(&sb, "prefetch: cycles=%d lead=%d (compiled=%d warm=%d) late=%d errors=%d\n",
+		p.Cycles, p.Lead(), p.Compiled, p.Warm, p.Late, p.Errors)
+	return sb.String()
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCacheCountersSnapshot(t *testing.T) {
+	var c CacheCounters
+	c.Hits.Add(3)
+	c.Misses.Add(2)
+	c.Evictions.Add(1)
+	got := c.Snapshot()
+	want := CacheShardStats{Hits: 3, Misses: 2, Evictions: 1}
+	if got != want {
+		t.Fatalf("snapshot = %+v, want %+v", got, want)
+	}
+}
+
+func TestCacheStatsHitRate(t *testing.T) {
+	if r := (CacheStats{}).HitRate(); r != 0 {
+		t.Fatalf("zero-traffic hit rate = %v, want 0", r)
+	}
+	s := CacheStats{Hits: 3, Misses: 1}
+	if r := s.HitRate(); r != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", r)
+	}
+}
+
+func TestRotationStatsDemandCompiles(t *testing.T) {
+	var c RotationCounters
+	c.Compiles.Add(10)
+	c.PrefetchCompiles.Add(7)
+	if d := c.Snapshot().DemandCompiles(); d != 3 {
+		t.Fatalf("demand compiles = %d, want 3", d)
+	}
+}
+
+func TestPrefetchStatsLead(t *testing.T) {
+	var c PrefetchCounters
+	c.Compiled.Add(4)
+	c.Warm.Add(2)
+	c.Late.Add(1)
+	s := c.Snapshot()
+	if s.Lead() != 6 {
+		t.Fatalf("lead = %d, want 6", s.Lead())
+	}
+}
+
+// Counter blocks are hammered from many goroutines in production; the
+// -race build of this test is the guarantee that Snapshot is safe
+// against concurrent adds.
+func TestCountersConcurrent(t *testing.T) {
+	var rc RotationCounters
+	var pc PrefetchCounters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				rc.Compiles.Add(1)
+				pc.Compiled.Add(1)
+				_ = rc.Snapshot()
+				_ = pc.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rc.Snapshot().Compiles; got != 8000 {
+		t.Fatalf("compiles = %d, want 8000", got)
+	}
+	if got := pc.Snapshot().Compiled; got != 8000 {
+		t.Fatalf("prefetch compiled = %d, want 8000", got)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var s Snapshot
+	s.Rotation.Compiles = 5
+	s.Rotation.PrefetchCompiles = 5
+	s.Rotation.Cache = CacheStats{Hits: 9, Misses: 1, Len: 4, Cap: 16, Shards: 2}
+	s.Prefetch.Compiled = 5
+	out := s.String()
+	for _, want := range []string{"demand=0", "prefetch=5", "hit-rate=0.900", "compiled=5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}

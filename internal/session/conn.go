@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"protoobf/internal/frame"
@@ -91,6 +92,17 @@ type Options struct {
 	// it, which would desynchronize other connections sharing it.
 	RekeyEvery uint64
 
+	// RekeyAfterBytes, when nonzero, proposes an in-band rekey once
+	// that many bytes of framed traffic (payloads plus epoch headers,
+	// both directions) have moved since the last rekey boundary — the
+	// ScrambleSuit-style volume trigger: a session that moves a lot of
+	// data rotates its seed family by traffic volume, not just by
+	// epoch count, bounding how much ciphertext any one family covers.
+	// It composes with RekeyEvery; whichever trigger fires first
+	// proposes, and one proposal in flight gates both. Requires a
+	// Versioner implementing Rekeyer.
+	RekeyAfterBytes uint64
+
 	// CacheWindow bounds the per-connection dialect cache: 0 means
 	// DefaultCacheWindow, negative means unbounded. Messages must be
 	// sent within CacheWindow epochs of composition or Send rejects
@@ -124,9 +136,15 @@ type Conn struct {
 	// schedule epoch, so a long partition does not trip the bound.
 	MaxEpochLead uint64
 
-	schedule   *sched.Scheduler
-	rekeyEvery uint64
-	seedSource func() int64
+	schedule        *sched.Scheduler
+	rekeyEvery      uint64
+	rekeyAfterBytes uint64
+	seedSource      func() int64
+
+	// bytesMoved counts framed traffic in both directions (payload plus
+	// epoch header), the odometer behind the volume rekey trigger. It is
+	// atomic so Send and Recv bump it without sharing a lock.
+	bytesMoved atomic.Uint64
 
 	mu            sync.Mutex // guards dialects, byGraph, mrng and rekey state
 	dialects      *lru.Cache[uint64, *graph.Graph]
@@ -135,6 +153,7 @@ type Conn struct {
 	pending       *rekeyProposal
 	abandoned     *rekeyProposal // unacked proposal the schedule outran; honored if its ack arrives late
 	lastRekeyFrom uint64
+	rekeyBase     uint64 // bytesMoved at the last rekey boundary (volume trigger datum)
 
 	smu  sync.Mutex // serializes Send's buffer reuse
 	wbuf []byte
@@ -187,17 +206,18 @@ func NewConnOpts(rw io.ReadWriter, versions Versioner, opts Options) (*Conn, err
 		seedSource = randomSeed
 	}
 	c := &Conn{
-		t:            NewTransport(rw),
-		rw:           rw,
-		versions:     versions,
-		MaxEpochLead: lead,
-		schedule:     opts.Schedule,
-		rekeyEvery:   opts.RekeyEvery,
-		seedSource:   seedSource,
-		byGraph:      make(map[*graph.Graph]uint64),
-		mrng:         rng.New(0x5e5510),
-		wbuf:         frame.GetBuffer(),
-		rbuf:         frame.GetBuffer(),
+		t:               NewTransport(rw),
+		rw:              rw,
+		versions:        versions,
+		MaxEpochLead:    lead,
+		schedule:        opts.Schedule,
+		rekeyEvery:      opts.RekeyEvery,
+		rekeyAfterBytes: opts.RekeyAfterBytes,
+		seedSource:      seedSource,
+		byGraph:         make(map[*graph.Graph]uint64),
+		mrng:            rng.New(0x5e5510),
+		wbuf:            frame.GetBuffer(),
+		rbuf:            frame.GetBuffer(),
 	}
 	c.t.maxLead = lead
 	// The eviction hook keeps the reverse index in step with the window;
@@ -252,6 +272,11 @@ func (c *Conn) Close() error {
 
 // Epoch returns the current send epoch (lock-free).
 func (c *Conn) Epoch() uint64 { return c.t.Epoch() }
+
+// BytesMoved returns the framed traffic this session has moved in both
+// directions (payloads plus epoch headers) — the odometer behind the
+// Options.RekeyAfterBytes volume trigger. Lock-free.
+func (c *Conn) BytesMoved() uint64 { return c.bytesMoved.Load() }
 
 // dialect fetches the graph of epoch through the bounded cache and
 // records it so Send can recover the epoch a message was composed for.
@@ -364,7 +389,12 @@ func (c *Conn) Send(m *msgtree.Message) error {
 		return err
 	}
 	c.wbuf = out
-	return c.t.sendPayloadAt(epoch, out)
+	if err := c.t.sendPayloadAt(epoch, out); err != nil {
+		return err
+	}
+	c.bytesMoved.Add(uint64(len(out)) + frame.EpochHeaderLen)
+	c.maybeVolumeRekey()
+	return nil
 }
 
 // Recv reads frames until one data frame decodes, handling control
@@ -429,6 +459,8 @@ func (c *Conn) Recv() (*msgtree.Message, error) {
 		}
 		c.t.Advance(follow)
 		c.mu.Unlock()
+		c.bytesMoved.Add(uint64(len(buf)) + frame.EpochHeaderLen)
+		c.maybeVolumeRekey()
 		return m, nil
 	}
 }
@@ -504,11 +536,18 @@ func (c *Conn) rekey(seed int64) (from uint64, ok bool, err error) {
 	c.pending = &rekeyProposal{from: from, seed: seed}
 	c.abandoned = nil // a new proposal supersedes any abandoned one
 	c.lastRekeyFrom = from
+	prevBase := c.rekeyBase
+	c.rekeyBase = c.bytesMoved.Load()
 	c.mu.Unlock()
 	if err := c.sendControl(frame.KindRekeyPropose, from, seed); err != nil {
 		c.mu.Lock()
 		if p := c.pending; p != nil && p.from == from && p.seed == seed {
 			c.pending = nil
+			// Restore the volume odometer datum too: a proposal that
+			// never reached the wire must not consume the traffic
+			// bound (the guard above means no other boundary has
+			// reset the base in between).
+			c.rekeyBase = prevBase
 		}
 		c.mu.Unlock()
 		return 0, false, err
@@ -535,6 +574,40 @@ func (c *Conn) maybeAutoRekey() error {
 	}
 	_, _, err := c.rekey(c.seedSource())
 	return err
+}
+
+// maybeVolumeRekey proposes a rekey once RekeyAfterBytes of framed
+// traffic have moved since the last rekey boundary — the ScrambleSuit-
+// style volume trigger, evaluated after every Send and Recv. Losing
+// the registration race to a concurrent proposer (or the peer's
+// crossed proposal) is fine: one proposal in flight is the goal, and
+// the odometer datum resets at whichever boundary wins.
+//
+// A failed proposal write is swallowed, not returned: the trigger runs
+// after a Send delivered its payload (or a Recv decoded its message),
+// and a completed operation must not be reported as failed — rekey()
+// already rolled the registration back, and a genuinely broken stream
+// surfaces on the next write regardless.
+func (c *Conn) maybeVolumeRekey() {
+	if c.rekeyAfterBytes == 0 {
+		return
+	}
+	if _, ok := c.versions.(Rekeyer); !ok {
+		return
+	}
+	// The odometer is read under c.mu: rekeyBase is only ever assigned
+	// from a bytesMoved.Load() inside this lock, so the base can never
+	// exceed a load taken here and the unsigned subtraction cannot
+	// wrap (a stale pre-lock load could be outrun by a concurrent
+	// boundary reset and fire a spurious immediate rekey).
+	c.mu.Lock()
+	moved := c.bytesMoved.Load()
+	due := c.pending == nil && moved-c.rekeyBase >= c.rekeyAfterBytes
+	c.mu.Unlock()
+	if !due {
+		return
+	}
+	_, _, _ = c.rekey(c.seedSource())
 }
 
 // Control-frame payload: a masked magic/epoch/seed triple. The magic
@@ -640,6 +713,12 @@ func (c *Conn) handlePropose(from uint64, seed int64) error {
 		c.unapplyRekey(from, seed)
 		return err
 	}
+	// The handshake is committed on our side: reset the volume odometer
+	// datum now, not at acceptance, so a rolled-back attempt (compile or
+	// ack failure above) does not consume the traffic bound.
+	c.mu.Lock()
+	c.rekeyBase = c.bytesMoved.Load()
+	c.mu.Unlock()
 	return c.Advance(from)
 }
 

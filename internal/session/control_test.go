@@ -760,3 +760,93 @@ func TestSendEvictedDialectRejected(t *testing.T) {
 		t.Fatalf("send of evicted-dialect message: %v", err)
 	}
 }
+
+// TestVolumeRekey: the ScrambleSuit-style trigger. With a threshold of
+// a few dozen bytes, a handful of round trips must complete an in-band
+// rekey on both peers — proposed by traffic volume, not by epoch count
+// — and the session keeps exchanging cleanly across the boundary.
+func TestVolumeRekey(t *testing.T) {
+	opts := core.ObfuscationOptions{PerNode: 2, Seed: 33}
+	rotA, err := core.NewRotation(beaconSpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotB, err := core.NewRotation(beaconSpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	seedSource := func() int64 { n++; return 0x7EED + n }
+	o := Options{RekeyAfterBytes: 64, SeedSource: seedSource}
+	a, b, err := PairOpts(rotA, rotB, o, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	build := specCases[0].build
+
+	for i := 0; i < 50 && (rotA.Stats().Rekeys == 0 || rotB.Stats().Rekeys == 0); i++ {
+		exchange(t, a, b, build, r)
+		exchange(t, b, a, build, r)
+	}
+	if ra, rb := rotA.Stats().Rekeys, rotB.Stats().Rekeys; ra == 0 || rb == 0 {
+		t.Fatalf("volume trigger never completed a rekey (A=%d B=%d, moved=%d)", ra, rb, a.BytesMoved())
+	}
+	if a.BytesMoved() == 0 || b.BytesMoved() == 0 {
+		t.Fatalf("byte odometer stuck at zero (A=%d B=%d)", a.BytesMoved(), b.BytesMoved())
+	}
+	// The boundary was crossed and traffic still flows.
+	exchange(t, a, b, build, r)
+	exchange(t, b, a, build, r)
+	if a.Epoch() == 0 && b.Epoch() == 0 {
+		t.Fatal("rekey completed but neither peer crossed the boundary epoch")
+	}
+}
+
+// TestVolumeRekeyRespectsThreshold: below the threshold the trigger
+// stays silent — no proposals, no family switches.
+func TestVolumeRekeyRespectsThreshold(t *testing.T) {
+	opts := core.ObfuscationOptions{PerNode: 1, Seed: 34}
+	rotA, err := core.NewRotation(beaconSpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotB, err := core.NewRotation(beaconSpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{RekeyAfterBytes: 1 << 30}
+	a, b, err := PairOpts(rotA, rotB, o, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	build := specCases[0].build
+	for i := 0; i < 5; i++ {
+		exchange(t, a, b, build, r)
+		exchange(t, b, a, build, r)
+	}
+	if ra, rb := rotA.Stats().Rekeys, rotB.Stats().Rekeys; ra != 0 || rb != 0 {
+		t.Fatalf("rekeys below threshold: A=%d B=%d", ra, rb)
+	}
+}
+
+// TestVolumeRekeyStaticNoop: a Fixed versioner cannot rekey; the
+// trigger must stay a silent no-op rather than erroring every Send.
+func TestVolumeRekeyStaticNoop(t *testing.T) {
+	p, err := core.Compile(beaconSpec, core.ObfuscationOptions{Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{RekeyAfterBytes: 1}
+	a, b, err := PairOpts(Fixed(p.Graph), Fixed(p.Graph), o, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	build := specCases[0].build
+	for i := 0; i < 3; i++ {
+		exchange(t, a, b, build, r)
+		exchange(t, b, a, build, r)
+	}
+}

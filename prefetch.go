@@ -1,0 +1,137 @@
+package protoobf
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"protoobf/internal/metrics"
+)
+
+// Metrics is the observability snapshot of one Endpoint: the dialect
+// family's compile and version-cache activity (compile count,
+// singleflight dedup hits, per-shard cache hit/miss/evict) and the
+// prefetch daemon's work (lead, misses). Snapshots are plain values
+// read from atomic counters — taking one never blocks a session — and
+// every counter is cumulative, so diffing two snapshots measures an
+// interval. See Endpoint.Metrics.
+type Metrics = metrics.Snapshot
+
+// Metrics snapshots the endpoint's observability counters. For a
+// static endpoint (no dialect family) the rotation half is zero.
+func (ep *Endpoint) Metrics() Metrics {
+	var m Metrics
+	if ep.rot != nil {
+		m.Rotation = ep.rot.Stats()
+	}
+	m.Prefetch = ep.prefetchStats.Snapshot()
+	return m
+}
+
+// Prefetcher is the handle to a running prefetch daemon (see
+// Endpoint.StartPrefetch). The daemon stops when the context given to
+// StartPrefetch is cancelled; Wait blocks until it has fully exited.
+type Prefetcher struct {
+	done chan struct{}
+}
+
+// Wait blocks until the daemon has exited (its context was cancelled
+// and the in-progress prefetch pass, if any, finished).
+func (p *Prefetcher) Wait() { <-p.done }
+
+// Done returns a channel closed when the daemon has exited.
+func (p *Prefetcher) Done() <-chan struct{} { return p.done }
+
+// StartPrefetch starts the endpoint's rotation daemon: a background
+// goroutine that drives Version(next .. next+n-1) off the schedule's
+// Next() so the dialects of upcoming epochs are compiled before their
+// boundary arrives and sessions never pay a compile on the hot path
+// when the epoch rolls over. The depth n comes from WithPrefetch
+// (default 1 — the next epoch only).
+//
+// The daemon runs one pass immediately (priming the upcoming window),
+// then sleeps until each boundary and prefetches the window beyond it.
+// Its work is visible in Metrics: Rotation.PrefetchCompiles attributes
+// the compiles, and the Prefetch block counts lead (versions ready
+// before their epoch began) versus late passes. A compile failure is
+// counted and retried at the next boundary, never fatal — sessions
+// fall back to compiling on demand, which is exactly the behavior
+// without a daemon.
+//
+// The daemon stops when ctx is cancelled. It requires a schedule
+// (WithSchedule) and a dialect family (not WithStaticProtocol), and at
+// most one daemon may run per endpoint at a time.
+func (ep *Endpoint) StartPrefetch(ctx context.Context) (*Prefetcher, error) {
+	if ep.rot == nil {
+		return nil, errors.New("protoobf: static endpoint has no dialect family to prefetch")
+	}
+	if ep.base.schedule == nil {
+		return nil, errors.New("protoobf: prefetch needs a schedule (WithSchedule)")
+	}
+	if !ep.prefetchOn.CompareAndSwap(false, true) {
+		return nil, errors.New("protoobf: a prefetch daemon is already running on this endpoint")
+	}
+	n := ep.base.prefetch
+	if n <= 0 {
+		n = 1
+	}
+	sleep := ep.base.prefetchSleep
+	if sleep == nil {
+		sleep = sleepUntil
+	}
+	p := &Prefetcher{done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		defer ep.prefetchOn.Store(false)
+		for ctx.Err() == nil {
+			next, d := ep.base.schedule.Next()
+			ep.prefetchWindow(next, n)
+			ep.prefetchStats.Cycles.Add(1)
+			if !sleep(ctx, d) {
+				return
+			}
+		}
+	}()
+	return p, nil
+}
+
+// prefetchWindow compiles epochs next..next+n-1 of the base family,
+// classifying each as compiled ahead, already warm, or late (its epoch
+// began before the daemon finished with it — the prefetch miss a
+// session may have paid for). Lateness is read after the compile
+// returns, so a compile that straddles its boundary — sessions stalled
+// joining it — is counted late, not lead.
+func (ep *Endpoint) prefetchWindow(next uint64, n int) {
+	for i := 0; i < n; i++ {
+		e := next + uint64(i)
+		compiled, err := ep.rot.Prefetch(e)
+		late := ep.base.schedule.Epoch() >= e
+		switch {
+		case err != nil:
+			ep.prefetchStats.Errors.Add(1)
+		case late:
+			ep.prefetchStats.Late.Add(1)
+		case compiled:
+			ep.prefetchStats.Compiled.Add(1)
+		default:
+			ep.prefetchStats.Warm.Add(1)
+		}
+	}
+}
+
+// sleepUntil is the production boundary wait: a timer for d, cut short
+// by ctx. It reports false when the daemon should stop.
+func sleepUntil(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		// At or past the boundary already: yield rather than spin.
+		d = time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -117,9 +117,10 @@ func TransformNames() []string {
 // frame is tagged with its dialect epoch outside the obfuscated payload,
 // and the dialect rotates mid-session — on a wall-clock schedule, by
 // explicit Rotate/Advance calls, or by following the peer. Sessions can
-// also rekey in-band (Session.Rekey or WithRekeyEvery), switching the
-// whole dialect family to a fresh obfuscation seed. Sessions are minted
-// from an Endpoint; see internal/session for the transport details.
+// also rekey in-band (Session.Rekey, WithRekeyEvery on the epoch clock,
+// WithRekeyAfterBytes on traffic volume), switching the whole dialect
+// family to a fresh obfuscation seed. Sessions are minted from an
+// Endpoint; see internal/session for the transport details.
 type Session = session.Conn
 
 // Schedule derives dialect epochs from coarse wall-clock time: epoch e
