@@ -15,6 +15,8 @@
 //	protoobf-bench -endpoint -shards 1                 # same, on the single-mutex cache geometry
 //	protoobf-bench -endpoint -prefetch 16 -metrics     # rotation daemon pre-compiling the epochs
 //	protoobf-bench -endpoint -tcp                      # same workload over loopback TCP
+//	protoobf-bench -migrate -sessions 8 -cycles 4      # kill-and-resume migration workload
+//	protoobf-bench -migrate -tcp -metrics              # same over loopback TCP, with snapshots
 //	protoobf-bench -all                                # everything, default sizes
 //
 // SIGINT/SIGTERM cancel a run cleanly: in-flight workloads stop between
@@ -78,6 +80,8 @@ func run(ctx context.Context, args []string) error {
 	ablation := fs.Bool("ablation", false, "run the per-transformation ablation study")
 	sessionWL := fs.Bool("session", false, "run the scheduled-rotation session workload")
 	endpointWL := fs.Bool("endpoint", false, "run the many-sessions-one-family endpoint workload")
+	migrateWL := fs.Bool("migrate", false, "run the kill-and-resume session migration workload")
+	cycles := fs.Int("cycles", 4, "kill/resume cycles per session in the migration workload")
 	sessions := fs.Int("sessions", 16, "concurrent session pairs in the endpoint workload")
 	shards := fs.Int("shards", 0, "version-cache lock shards in the endpoint workload (0 = default, 1 = single mutex)")
 	prefetch := fs.Int("prefetch", 0, "run the rotation daemon with this prefetch depth in the endpoint workload (0 = off; >= -epochs pre-compiles the whole run)")
@@ -89,6 +93,22 @@ func run(ctx context.Context, args []string) error {
 	all := fs.Bool("all", false, "run every experiment for both protocols")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *migrateWL {
+		res, err := bench.RunMigrate(ctx, bench.MigrateConfig{
+			Sessions:     *sessions,
+			Cycles:       *cycles,
+			MsgsPerCycle: *msgs,
+			Seed:         *seed,
+			OverTCP:      *overTCP,
+			Metrics:      *showMetrics,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
+		return nil
 	}
 
 	if *endpointWL {

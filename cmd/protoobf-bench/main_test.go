@@ -38,6 +38,15 @@ func TestRunEndpointWorkload(t *testing.T) {
 	}
 }
 
+func TestRunMigrateWorkload(t *testing.T) {
+	if err := run(context.Background(), []string{"-migrate", "-sessions", "3", "-cycles", "2", "-msgs", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-migrate", "-sessions", "2", "-cycles", "2", "-msgs", "2", "-tcp", "-metrics"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run(context.Background(), []string{}); err == nil {
 		t.Error("no action accepted")

@@ -38,6 +38,11 @@ type Endpoint struct {
 	// guards against two daemons racing on one endpoint.
 	prefetchStats metrics.PrefetchCounters
 	prefetchOn    atomic.Bool
+
+	// resumeStats aggregates the session-migration activity of every
+	// session this endpoint mints: tickets exported, resumes accepted,
+	// rejections by reason.
+	resumeStats metrics.ResumeCounters
 }
 
 // settings carries the control-plane configuration shared by endpoint
@@ -48,6 +53,7 @@ type settings struct {
 	rekeyEvery      *uint64
 	rekeyAfterBytes *uint64
 	cacheWindow     *int
+	resumeWindow    *uint64
 	static          *Protocol
 	versionWindow   int
 	versionShards   int
@@ -126,6 +132,18 @@ func WithCacheWindow(n int) Option {
 	return func(cfg *settings) { cfg.cacheWindow = &n }
 }
 
+// WithResumeWindow bounds the lifetime of resumption tickets, in
+// epochs: a session of this endpoint rejects (and counts, see Metrics)
+// any ticket whose epoch lies more than n epochs behind its current
+// one. Shorter windows bound how long a captured ticket could re-attach
+// a stolen session; longer windows let peers return from longer
+// outages. n = 0 (the default) means session.DefaultResumeWindow (64).
+// It applies both to acceptors and to Resume/DialResume, which fail
+// fast on a locally expired ticket.
+func WithResumeWindow(n uint64) Option {
+	return func(cfg *settings) { cfg.resumeWindow = &n }
+}
+
 // WithStaticProtocol pins sessions to a single fixed protocol in every
 // epoch: session framing without dialect rotation. On NewEndpoint it
 // makes the whole endpoint static (the spec and options arguments are
@@ -173,15 +191,9 @@ func NewEndpoint(spec string, opts Options, o ...EndpointOption) (*Endpoint, err
 // caller uses Session.Close, which closes rw when it implements
 // io.Closer.
 func (ep *Endpoint) Session(rw io.ReadWriter, o ...SessionOption) (*Session, error) {
-	cfg := ep.base
-	for _, fn := range o {
-		fn(&cfg)
-	}
-	if cfg.versionWindow != ep.base.versionWindow || cfg.versionShards != ep.base.versionShards {
-		return nil, errors.New("protoobf: WithVersionCache is endpoint-level; pass it to NewEndpoint")
-	}
-	if cfg.prefetch != ep.base.prefetch {
-		return nil, errors.New("protoobf: WithPrefetch is endpoint-level; pass it to NewEndpoint")
+	cfg, err := ep.sessionConfig(o)
+	if err != nil {
+		return nil, err
 	}
 	var versions session.Versioner
 	switch {
@@ -194,6 +206,28 @@ func (ep *Endpoint) Session(rw io.ReadWriter, o ...SessionOption) (*Session, err
 	default:
 		versions = ep.rot.View()
 	}
+	return session.NewConnOpts(rw, versions, ep.sessionOpts(cfg))
+}
+
+// sessionConfig layers per-session options over the endpoint defaults
+// and rejects endpoint-level options in session position.
+func (ep *Endpoint) sessionConfig(o []SessionOption) (settings, error) {
+	cfg := ep.base
+	for _, fn := range o {
+		fn(&cfg)
+	}
+	if cfg.versionWindow != ep.base.versionWindow || cfg.versionShards != ep.base.versionShards {
+		return cfg, errors.New("protoobf: WithVersionCache is endpoint-level; pass it to NewEndpoint")
+	}
+	if cfg.prefetch != ep.base.prefetch {
+		return cfg, errors.New("protoobf: WithPrefetch is endpoint-level; pass it to NewEndpoint")
+	}
+	return cfg, nil
+}
+
+// sessionOpts maps a layered configuration onto the session layer's
+// option struct, wiring in the endpoint's shared resume counters.
+func (ep *Endpoint) sessionOpts(cfg settings) session.Options {
 	var sopts session.Options
 	sopts.Schedule = cfg.schedule
 	if cfg.rekeyEvery != nil {
@@ -205,7 +239,51 @@ func (ep *Endpoint) Session(rw io.ReadWriter, o ...SessionOption) (*Session, err
 	if cfg.cacheWindow != nil {
 		sopts.CacheWindow = *cfg.cacheWindow
 	}
-	return session.NewConnOpts(rw, versions, sopts)
+	if cfg.resumeWindow != nil {
+		sopts.ResumeWindow = *cfg.resumeWindow
+	}
+	sopts.ResumeStats = &ep.resumeStats
+	return sopts
+}
+
+// Resume reconstructs an exported session on a fresh byte stream: the
+// ticket (from Session.Export, possibly minted by a different endpoint
+// built from the same spec and seed) is opened locally, the session's
+// rekey lineage and epoch are restored, and the in-band resume
+// handshake re-attaches it to the peer on the other side of rw. The
+// returned session is usable immediately; the acceptor's ack completes
+// in-band on the Recv path. This is how sessions that have rekeyed —
+// which a fresh Dial can never rejoin — survive connection loss.
+//
+// Like Session, the stream stays owned by the caller unless the caller
+// uses Session.Close. Static endpoints cannot resume.
+func (ep *Endpoint) Resume(rw io.ReadWriter, ticket []byte, o ...SessionOption) (*Session, error) {
+	cfg, err := ep.sessionConfig(o)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.static != nil || ep.rot == nil {
+		return nil, errors.New("protoobf: static endpoints do not support session resumption")
+	}
+	return session.ResumeConn(rw, ep.rot.View(), ep.sessionOpts(cfg), ticket)
+}
+
+// DialResume connects to addr on the named network (see net.Dial) and
+// resumes the exported session over the fresh connection — the
+// reconnect path of a peer whose previous connection dropped. The
+// returned session owns the connection: Session.Close closes it.
+func (ep *Endpoint) DialResume(ctx context.Context, network, addr string, ticket []byte, o ...SessionOption) (*Session, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ep.Resume(conn, ticket, o...)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("protoobf: resume %s: %w", addr, err)
+	}
+	return s, nil
 }
 
 // Dial connects to addr on the named network (see net.Dial) and opens a

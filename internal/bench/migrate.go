@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"protoobf"
+	"protoobf/internal/session"
+)
+
+// MigrateConfig parameterizes the kill-and-resume migration workload:
+// N concurrent client sessions each repeatedly establish, rekey their
+// private family, move traffic, get their connection killed, and
+// re-attach via a resumption ticket on a fresh stream. Each cycle also
+// measures the no-ticket alternative — a fresh dial that must negotiate
+// a brand-new rekey (and compile the new family's dialect) to reach an
+// equivalent private-family state — so the run reports what a ticket
+// actually buys on the reconnect path.
+type MigrateConfig struct {
+	// Sessions is the number of concurrent client sessions (default 8).
+	Sessions int
+	// Cycles is the number of kill-and-resume cycles per session
+	// (default 4).
+	Cycles int
+	// MsgsPerCycle is the number of round trips before each kill
+	// (default 8).
+	MsgsPerCycle int
+	// PerNode is the obfuscation level (default 2).
+	PerNode int
+	// Seed is the campaign seed.
+	Seed int64
+	// OverTCP runs the workload over loopback TCP (Endpoint.Listen /
+	// DialResume) instead of in-memory duplexes.
+	OverTCP bool
+	// Metrics includes the endpoints' observability snapshots in the
+	// rendered table.
+	Metrics bool
+}
+
+// MigrateResult is the measured outcome of one migration workload run.
+type MigrateResult struct {
+	Config     MigrateConfig
+	Resumes    int              // kill-and-resume cycles completed
+	Msgs       int              // round trips completed across all sessions
+	Elapsed    time.Duration    // wall time for the whole run
+	ResumeAvg  time.Duration    // avg reconnect-to-first-answer via ticket resume
+	FreshAvg   time.Duration    // avg reconnect-to-first-answer via fresh dial + re-rekey
+	SrvMetrics protoobf.Metrics // server endpoint snapshot at the end of the run
+	CliMetrics protoobf.Metrics // client endpoint snapshot at the end of the run
+}
+
+// RunMigrate drives the kill-and-resume workload. The context cancels
+// the run cooperatively between cycles; TCP listeners close before the
+// function returns.
+func RunMigrate(ctx context.Context, cfg MigrateConfig) (*MigrateResult, error) {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 8
+	}
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 4
+	}
+	if cfg.MsgsPerCycle <= 0 {
+		cfg.MsgsPerCycle = 8
+	}
+	if cfg.PerNode <= 0 {
+		cfg.PerNode = 2
+	}
+	opts := protoobf.Options{PerNode: cfg.PerNode, Seed: cfg.Seed}
+	epSrv, err := protoobf.NewEndpoint(sessionSpec, opts)
+	if err != nil {
+		return nil, err
+	}
+	epCli, err := protoobf.NewEndpoint(sessionSpec, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	connect, resume, shutdown, err := migrateDialers(ctx, cfg, epSrv, epCli)
+	if err != nil {
+		return nil, err
+	}
+	defer shutdown()
+
+	var mu sync.Mutex
+	var resumeTotal, freshTotal time.Duration
+	resumes, trips := 0, 0
+	errs := make([]error, cfg.Sessions)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = func() error {
+				cli, err := connect()
+				if err != nil {
+					return err
+				}
+				defer func() { cli.Close() }()
+				seq := uint64(i) * 1_000_000
+				for cycle := 0; cycle < cfg.Cycles; cycle++ {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					// A private rekey each cycle: the state a fresh dial
+					// cannot rejoin.
+					if _, err := cli.Rekey(cfg.Seed + int64(i*1000+cycle+13)); err != nil {
+						return fmt.Errorf("cycle %d rekey: %w", cycle, err)
+					}
+					for m := 0; m < cfg.MsgsPerCycle; m++ {
+						if err := clientTrip(cli, seq); err != nil {
+							return fmt.Errorf("cycle %d trip %d: %w", cycle, m, err)
+						}
+						seq++
+					}
+					ticket, err := cli.Export()
+					if err != nil {
+						return fmt.Errorf("cycle %d export: %w", cycle, err)
+					}
+					cli.Close() // the kill
+
+					// Reconnect path A: ticket resume.
+					t0 := time.Now()
+					next, err := resume(ticket)
+					if err != nil {
+						return fmt.Errorf("cycle %d resume: %w", cycle, err)
+					}
+					if err := clientTrip(next, seq); err != nil {
+						next.Close()
+						return fmt.Errorf("cycle %d post-resume trip: %w", cycle, err)
+					}
+					seq++
+					dtResume := time.Since(t0)
+
+					// Reconnect path B (the control): fresh dial plus a
+					// re-rekey to a brand-new family — compile and round
+					// trips included — to reach an equivalent state.
+					t0 = time.Now()
+					fresh, err := connect()
+					if err != nil {
+						next.Close()
+						return fmt.Errorf("cycle %d fresh dial: %w", cycle, err)
+					}
+					_, err = fresh.Rekey(cfg.Seed + int64(i*1000+cycle+500_000))
+					if err == nil {
+						// Two trips carry the propose and complete the ack.
+						if err = clientTrip(fresh, seq); err == nil {
+							seq++
+							err = clientTrip(fresh, seq)
+							seq++
+						}
+					}
+					dtFresh := time.Since(t0)
+					fresh.Close()
+					if err != nil {
+						next.Close()
+						return fmt.Errorf("cycle %d fresh rekey: %w", cycle, err)
+					}
+
+					mu.Lock()
+					resumeTotal += dtResume
+					freshTotal += dtFresh
+					resumes++
+					trips += cfg.MsgsPerCycle + 3
+					mu.Unlock()
+					cli = next
+				}
+				return nil
+			}()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("session %d: %w", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	res := &MigrateResult{
+		Config:     cfg,
+		Resumes:    resumes,
+		Msgs:       trips,
+		Elapsed:    elapsed,
+		SrvMetrics: epSrv.Metrics(),
+		CliMetrics: epCli.Metrics(),
+	}
+	if resumes > 0 {
+		res.ResumeAvg = resumeTotal / time.Duration(resumes)
+		res.FreshAvg = freshTotal / time.Duration(resumes)
+	}
+	return res, nil
+}
+
+// migrateDialers wires the workload's connect and resume paths for the
+// configured transport, plus the shutdown tearing the server side down.
+func migrateDialers(ctx context.Context, cfg MigrateConfig, epSrv, epCli *protoobf.Endpoint) (
+	connect func() (*session.Conn, error),
+	resume func(ticket []byte) (*session.Conn, error),
+	shutdown func(),
+	err error,
+) {
+	if !cfg.OverTCP {
+		serve := func(s *session.Conn) (*session.Conn, error) {
+			go func() {
+				defer s.Release()
+				serveEcho(s)
+			}()
+			return s, nil
+		}
+		connect = func() (*session.Conn, error) {
+			ca, cb := protoobf.Pipe()
+			srv, err := epSrv.Session(cb)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := serve(srv); err != nil {
+				return nil, err
+			}
+			return epCli.Session(ca)
+		}
+		resume = func(ticket []byte) (*session.Conn, error) {
+			ca, cb := protoobf.Pipe()
+			srv, err := epSrv.Session(cb)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := serve(srv); err != nil {
+				return nil, err
+			}
+			return epCli.Resume(ca, ticket)
+		}
+		return connect, resume, func() {}, nil
+	}
+
+	ln, err := epSrv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	stopWatch := context.AfterFunc(ctx, func() { ln.Close() })
+	var srvWG sync.WaitGroup
+	srvWG.Add(1)
+	go func() {
+		defer srvWG.Done()
+		for {
+			s, err := ln.Accept()
+			if err != nil {
+				if errors.Is(err, protoobf.ErrSessionSetup) {
+					continue
+				}
+				return
+			}
+			srvWG.Add(1)
+			go func() {
+				defer srvWG.Done()
+				defer s.Close()
+				serveEcho(s)
+			}()
+		}
+	}()
+	connect = func() (*session.Conn, error) {
+		return epCli.Dial(ctx, "tcp", ln.Addr().String())
+	}
+	resume = func(ticket []byte) (*session.Conn, error) {
+		return epCli.DialResume(ctx, "tcp", ln.Addr().String(), ticket)
+	}
+	shutdown = func() {
+		stopWatch()
+		ln.Close()
+		srvWG.Wait()
+	}
+	return connect, resume, shutdown, nil
+}
+
+// Table renders the migration workload result.
+func (r *MigrateResult) Table() string {
+	transport := "in-memory duplex"
+	if r.Config.OverTCP {
+		transport = "loopback TCP"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "migration workload: kill-and-resume over %s (perNode=%d, seed=%d)\n",
+		transport, r.Config.PerNode, r.Config.Seed)
+	fmt.Fprintf(&sb, "  concurrent sessions  %d, %d kill/resume cycles each\n", r.Config.Sessions, r.Config.Cycles)
+	fmt.Fprintf(&sb, "  resumes completed    %d (round trips %d)\n", r.Resumes, r.Msgs)
+	fmt.Fprintf(&sb, "  elapsed              %v\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "  reconnect via ticket %v avg (resume + first answered trip)\n", r.ResumeAvg.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "  reconnect via dial   %v avg (fresh dial + re-rekey to a private family)\n", r.FreshAvg.Round(time.Microsecond))
+	if r.ResumeAvg > 0 {
+		fmt.Fprintf(&sb, "  ticket speedup       %.1fx\n", float64(r.FreshAvg)/float64(r.ResumeAvg))
+	}
+	srvU, cliU := r.SrvMetrics.Resume, r.CliMetrics.Resume
+	fmt.Fprintf(&sb, "  tickets              issued=%d accepted=%d rejected=%d (server side)\n",
+		cliU.TicketsIssued, srvU.Accepts, srvU.Rejects())
+	if r.Config.Metrics {
+		fmt.Fprintf(&sb, "server endpoint metrics:\n%s", indent(r.SrvMetrics.String()))
+		fmt.Fprintf(&sb, "client endpoint metrics:\n%s", indent(r.CliMetrics.String()))
+	}
+	return sb.String()
+}

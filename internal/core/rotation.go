@@ -73,6 +73,15 @@ type Rotation struct {
 	// itself.
 	stats metrics.RotationCounters
 
+	// fams tracks the rekeyed seed families recently active on this
+	// Rotation's views — registered when a view rekeys (or imports a
+	// resumption lineage) and refreshed by every demand lookup — so a
+	// prefetch daemon can warm upcoming epochs of the families live
+	// sessions actually speak, not just the base family. Bounded: stale
+	// families age out after familyIdleEpochs without a demand lookup.
+	famMu sync.Mutex
+	fams  map[int64]familyTrack
+
 	// Share accounting for the deprecated public constructors: a
 	// rekey-enabled session must own its Rotation exclusively because it
 	// rekeys the default view. Endpoint sessions use independent views
@@ -90,6 +99,37 @@ type Rotation struct {
 type versionKey struct {
 	family int64
 	epoch  uint64
+}
+
+// familyTrack is the liveness record of one rekeyed family: the epoch
+// its rekey point starts at (prefetching earlier epochs of the family
+// would compile versions no session can ever request) and the highest
+// epoch a session demanded under it (the liveness signal — a live
+// rekeyed session demands a fresh epoch of its family at every
+// boundary, so lastSeen tracks the schedule while the session lives and
+// freezes when it dies).
+type familyTrack struct {
+	from     uint64
+	lastSeen uint64
+}
+
+// familyIdleEpochs is how many epochs a rekeyed family may go without a
+// demand lookup before it stops being considered active: long enough to
+// ride out a quiet session, short enough that dead families stop
+// costing the prefetch daemon compiles.
+const familyIdleEpochs = 8
+
+// maxTrackedFamilies bounds the family-liveness table so a hostile or
+// pathological rekey storm cannot grow it without limit; beyond the
+// bound, new families are simply not tracked (they fall back to demand
+// compiles, the behavior without the daemon).
+const maxTrackedFamilies = 1024
+
+// ActiveFamily is one rekeyed seed family a prefetch daemon should keep
+// warm, and the epoch its lineage starts at.
+type ActiveFamily struct {
+	Seed int64
+	From uint64
 }
 
 // flightCall is one in-progress compile; latecomers wait on done.
@@ -226,6 +266,89 @@ func (r *Rotation) Prefetch(epoch uint64) (compiled bool, err error) {
 	return compiled, err
 }
 
+// PrefetchFamily compiles the given epoch's version of an explicit
+// rekeyed seed family ahead of need — the companion to Prefetch for the
+// families ActiveFamilies reports, so a daemon keeps rekeyed sessions as
+// boundary-compile-free as base-family ones. It reports whether this
+// call performed the compile.
+func (r *Rotation) PrefetchFamily(family int64, epoch uint64) (compiled bool, err error) {
+	_, compiled, err = r.versionFor(family, epoch, true)
+	return compiled, err
+}
+
+// ActiveFamilies returns the rekeyed seed families considered live at
+// the given current epoch — families some view rekeyed into and some
+// session demanded a version of within the last familyIdleEpochs
+// epochs. Stale entries are pruned as a side effect, so the table stays
+// bounded by the set of genuinely live families.
+func (r *Rotation) ActiveFamilies(cur uint64) []ActiveFamily {
+	r.famMu.Lock()
+	defer r.famMu.Unlock()
+	out := make([]ActiveFamily, 0, len(r.fams))
+	for seed, tr := range r.fams {
+		if cur > tr.lastSeen+familyIdleEpochs {
+			delete(r.fams, seed)
+			continue
+		}
+		out = append(out, ActiveFamily{Seed: seed, From: tr.from})
+	}
+	return out
+}
+
+// noteRekey registers a freshly rekeyed family (a view's rekey point or
+// an imported resumption lineage) in the liveness table.
+func (r *Rotation) noteRekey(family int64, from uint64) {
+	if family == r.opts.Seed {
+		return
+	}
+	r.famMu.Lock()
+	defer r.famMu.Unlock()
+	if r.fams == nil {
+		r.fams = make(map[int64]familyTrack)
+	}
+	tr, ok := r.fams[family]
+	if !ok {
+		if len(r.fams) >= maxTrackedFamilies {
+			return
+		}
+		tr = familyTrack{from: from, lastSeen: from}
+	}
+	if from < tr.from {
+		tr.from = from
+	}
+	if from > tr.lastSeen {
+		tr.lastSeen = from
+	}
+	r.fams[family] = tr
+}
+
+// touchFamily refreshes (or re-registers) a rekeyed family's liveness
+// on a demand lookup. Demand lookups only come from views resolving
+// their own rekey points, so an absent entry means the family was
+// pruned while its session idled — it re-enters here with the demanded
+// epoch as a conservative lineage start, and the table stays bounded
+// by maxTrackedFamilies regardless.
+func (r *Rotation) touchFamily(family int64, epoch uint64) {
+	if family == r.opts.Seed {
+		return
+	}
+	r.famMu.Lock()
+	tr, ok := r.fams[family]
+	switch {
+	case ok:
+		if epoch > tr.lastSeen {
+			tr.lastSeen = epoch
+			r.fams[family] = tr
+		}
+	case len(r.fams) < maxTrackedFamilies:
+		if r.fams == nil {
+			r.fams = make(map[int64]familyTrack)
+		}
+		r.fams[family] = familyTrack{from: epoch, lastSeen: epoch}
+	}
+	r.famMu.Unlock()
+}
+
 // Version returns the protocol of the given epoch under the Rotation's
 // default view, compiling it on first use (or again after eviction).
 // The same epoch always yields the same transformed graph on every peer
@@ -267,6 +390,12 @@ func (r *Rotation) ControlPad(epoch uint64, n int) []byte {
 // compiled reports whether this call performed the compile itself;
 // prefetch attributes that compile to a prefetcher in the stats.
 func (r *Rotation) versionFor(family int64, epoch uint64, prefetch bool) (p *Protocol, compiled bool, err error) {
+	if !prefetch {
+		// A demand lookup is the liveness signal of a rekeyed family; it
+		// runs once per (session, epoch) thanks to the sessions' private
+		// dialect caches, so the map touch is off the per-message path.
+		r.touchFamily(family, epoch)
+	}
 	k := versionKey{family: family, epoch: epoch}
 	if p, ok := r.cache.Get(k); ok {
 		return p, false, nil
@@ -372,7 +501,76 @@ func (v *View) Rekey(from uint64, seed int64) error {
 		v.rekeys = append(v.rekeys, rekeyPoint{from: from, seed: seed})
 	}
 	v.rot.stats.Rekeys.Add(1)
+	v.rot.noteRekey(seed, from)
 	return nil
+}
+
+// RekeyLineage exports the view's rekey history as parallel slices
+// (ascending boundary epochs and the seed each switches to) — the
+// session migration subsystem's raw material for a resumption ticket.
+// The slices are fresh copies; mutating them does not affect the view.
+func (v *View) RekeyLineage() (froms []uint64, seeds []int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.rekeys) == 0 {
+		return nil, nil
+	}
+	froms = make([]uint64, len(v.rekeys))
+	seeds = make([]int64, len(v.rekeys))
+	for i, p := range v.rekeys {
+		froms[i] = p.from
+		seeds[i] = p.seed
+	}
+	return froms, seeds
+}
+
+// ImportRekeys replays an exported rekey lineage into this view — how a
+// resumed session reconstructs the family history a ticket describes.
+// The view must be pristine (no rekey points of its own): a resumption
+// lineage replaces a history, it does not merge with one. Boundary
+// epochs must be strictly ascending and nonzero. Unlike Rekey, imports
+// are not counted in RotationStats.Rekeys — they replay handshakes that
+// already happened, on this or another endpoint.
+func (v *View) ImportRekeys(froms []uint64, seeds []int64) error {
+	if len(froms) != len(seeds) {
+		return fmt.Errorf("rotation: lineage of %d boundaries with %d seeds", len(froms), len(seeds))
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.rekeys) != 0 {
+		return fmt.Errorf("rotation: cannot import a lineage over %d existing rekey points", len(v.rekeys))
+	}
+	pts := make([]rekeyPoint, len(froms))
+	last := uint64(0)
+	for i := range froms {
+		if froms[i] <= last {
+			return fmt.Errorf("rotation: lineage boundary %d not ascending (after %d)", froms[i], last)
+		}
+		last = froms[i]
+		pts[i] = rekeyPoint{from: froms[i], seed: seeds[i]}
+	}
+	v.rekeys = pts
+	if n := len(pts); n > 0 {
+		// Only the latest family is a prefetch target: earlier lineage
+		// entries cover past epochs the session will never demand again.
+		v.rot.noteRekey(pts[n-1].seed, pts[n-1].from)
+	}
+	return nil
+}
+
+// SealResume seals a resumption-state payload into an opaque ticket
+// under the key derived from the Rotation's base master seed — the
+// session layer's TicketSealer interface. Any view of any Rotation
+// built from the same (spec, seed) can open the result.
+func (v *View) SealResume(plain []byte) ([]byte, error) {
+	return SealTicket(v.rot.opts.Seed, plain)
+}
+
+// OpenResume verifies and unseals a resumption ticket sealed by any
+// peer sharing the base master seed. Forged or corrupted tickets fail
+// with an error wrapping ErrTicketInvalid.
+func (v *View) OpenResume(ticket []byte) ([]byte, error) {
+	return OpenTicket(v.rot.opts.Seed, ticket)
 }
 
 // DropRekey removes the view's most recent rekey point if it matches

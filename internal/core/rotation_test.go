@@ -512,3 +512,61 @@ func TestRotationMissAccounting(t *testing.T) {
 		t.Fatalf("warm lookup recorded %d hits, want 1", d)
 	}
 }
+
+// hasFamily reports whether seed is among the active families at cur.
+func hasFamily(fams []ActiveFamily, seed int64) bool {
+	for _, f := range fams {
+		if f.Seed == seed {
+			return true
+		}
+	}
+	return false
+}
+
+// TestActiveFamilyLifecycle pins the family-liveness table the prefetch
+// daemon draws from: a rekey registers its family, demand lookups keep
+// it alive, idling past familyIdleEpochs prunes it — and, critically, a
+// later demand lookup from the still-live session re-registers it, so
+// prefetch warming is never lost permanently to an idle period.
+func TestActiveFamilyLifecycle(t *testing.T) {
+	rot := newTestRotation(t, 77)
+	v := rot.View()
+	const fam = int64(0xAA)
+	if err := v.Rekey(5, fam); err != nil {
+		t.Fatal(err)
+	}
+	if fams := rot.ActiveFamilies(5); !hasFamily(fams, fam) {
+		t.Fatalf("family not registered at rekey: %v", fams)
+	}
+	// Demand traffic at epoch 9 keeps it alive through epoch 9+idle.
+	if _, err := v.Version(9); err != nil {
+		t.Fatal(err)
+	}
+	if fams := rot.ActiveFamilies(9 + familyIdleEpochs); !hasFamily(fams, fam) {
+		t.Fatalf("family pruned while within the idle window")
+	}
+	// A long idle prunes it...
+	if fams := rot.ActiveFamilies(100); hasFamily(fams, fam) {
+		t.Fatalf("family survived a %d-epoch idle: %v", 100-9, fams)
+	}
+	// ...and the session's next demand lookup re-registers it.
+	if _, err := v.Version(100); err != nil {
+		t.Fatal(err)
+	}
+	fams := rot.ActiveFamilies(100)
+	if !hasFamily(fams, fam) {
+		t.Fatal("pruned family did not re-register on a demand lookup")
+	}
+	for _, f := range fams {
+		if f.Seed == fam && f.From > 100 {
+			t.Fatalf("re-registered family starts at %d, after the demanded epoch", f.From)
+		}
+	}
+	// The base family is never tracked.
+	if _, err := rot.Version(100); err != nil {
+		t.Fatal(err)
+	}
+	if fams := rot.ActiveFamilies(100); hasFamily(fams, rot.opts.Seed) {
+		t.Fatal("base family entered the liveness table")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"crypto/hmac"
+	crand "crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Resumption-ticket sealing: the session migration subsystem captures a
+// session's control-plane state (epoch, rekey lineage, traffic odometer)
+// and carries it across byte streams as an opaque ticket. The ticket is
+// sealed with a key derived from the dialect family's base master seed —
+// the secret both endpoints of a deployment already share — so any
+// endpoint built from the same (spec, seed) can open a peer's ticket,
+// while an observer that lacks the seed can neither read the lineage nor
+// forge a ticket that survives the tag check.
+//
+// The construction is a SHA-256 counter-mode keystream plus a truncated
+// HMAC-SHA-256 tag over the masked body:
+//
+//	ticket: [16-byte nonce][masked state][16-byte tag]
+//
+// Like View.ControlPad this is obfuscation-grade protection, deliberately
+// within the paper's threat model: the base seed is a 63-bit secret and
+// the scheme is not a vetted AEAD. Deployments needing cryptographic
+// confidentiality of the rekey lineage should run sessions (and store
+// tickets) over protected channels; the sealing then keeps tickets
+// opaque and unforgeable against everyone without the seed.
+const (
+	ticketNonceLen = 16
+	ticketTagLen   = 16
+	ticketOverhead = ticketNonceLen + ticketTagLen
+
+	// maxTicketLen bounds what OpenTicket will even look at, so a hostile
+	// resume frame cannot make the acceptor hash megabytes before the
+	// (cheap) length check rejects it. Sized so the session layer's
+	// longest admissible rekey lineage (256 points, ~4.1 KiB of state)
+	// still seals; real tickets are well under 1 KiB.
+	maxTicketLen = 8192
+)
+
+// ErrTicketInvalid reports a ticket that failed structural or tag
+// verification: truncated, oversized, forged, or sealed under a
+// different base seed.
+var ErrTicketInvalid = errors.New("core: resumption ticket invalid (forged, corrupted, or wrong dialect family)")
+
+// ticketKey derives the sealing key from the family's base master seed
+// under a fixed domain string.
+func ticketKey(secret int64) []byte {
+	h := sha256.New()
+	h.Write([]byte("protoobf resume ticket v1"))
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(secret))
+	h.Write(b[:])
+	return h.Sum(nil)
+}
+
+// ticketMask XORs the counter-mode SHA-256 keystream of (key, nonce)
+// over p in place. Masking and unmasking are the same operation.
+func ticketMask(key, nonce, p []byte) {
+	var blk [sha256.Size]byte
+	var ctr [8]byte
+	for off := 0; off < len(p); off += sha256.Size {
+		binary.BigEndian.PutUint64(ctr[:], uint64(off/sha256.Size))
+		h := sha256.New()
+		h.Write(key)
+		h.Write(nonce)
+		h.Write(ctr[:])
+		h.Sum(blk[:0])
+		n := len(p) - off
+		if n > sha256.Size {
+			n = sha256.Size
+		}
+		for i := 0; i < n; i++ {
+			p[off+i] ^= blk[i]
+		}
+	}
+}
+
+// ticketTag computes the truncated authentication tag over nonce and the
+// masked body.
+func ticketTag(key, nonce, masked []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(nonce)
+	mac.Write(masked)
+	return mac.Sum(nil)[:ticketTagLen]
+}
+
+// SealTicket seals plain into an opaque resumption ticket under the key
+// derived from secret (the dialect family's base master seed). The
+// plaintext is not retained: callers may reuse the slice.
+func SealTicket(secret int64, plain []byte) ([]byte, error) {
+	if len(plain) > maxTicketLen-ticketOverhead {
+		return nil, fmt.Errorf("core: ticket state of %d bytes exceeds limit %d", len(plain), maxTicketLen-ticketOverhead)
+	}
+	key := ticketKey(secret)
+	out := make([]byte, ticketNonceLen+len(plain), ticketNonceLen+len(plain)+ticketTagLen)
+	if _, err := crand.Read(out[:ticketNonceLen]); err != nil {
+		return nil, fmt.Errorf("core: ticket nonce: %w", err)
+	}
+	copy(out[ticketNonceLen:], plain)
+	ticketMask(key, out[:ticketNonceLen], out[ticketNonceLen:])
+	tag := ticketTag(key, out[:ticketNonceLen], out[ticketNonceLen:])
+	return append(out, tag...), nil
+}
+
+// OpenTicket verifies and unseals a ticket previously produced by
+// SealTicket under the same secret, returning the state plaintext in a
+// fresh slice (the ticket bytes are not modified). Any structural or tag
+// failure returns an error wrapping ErrTicketInvalid.
+func OpenTicket(secret int64, ticket []byte) ([]byte, error) {
+	if len(ticket) < ticketOverhead || len(ticket) > maxTicketLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTicketInvalid, len(ticket))
+	}
+	key := ticketKey(secret)
+	nonce := ticket[:ticketNonceLen]
+	masked := ticket[ticketNonceLen : len(ticket)-ticketTagLen]
+	tag := ticket[len(ticket)-ticketTagLen:]
+	if !hmac.Equal(tag, ticketTag(key, nonce, masked)) {
+		return nil, ErrTicketInvalid
+	}
+	plain := append([]byte(nil), masked...)
+	ticketMask(key, nonce, plain)
+	return plain, nil
+}

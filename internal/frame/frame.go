@@ -56,6 +56,16 @@ const (
 	// KindRekeyAck accepts a proposal by echoing its masked (epoch, seed)
 	// pair. Only after the ack does either peer send under the new family.
 	KindRekeyAck = 0x02
+	// KindResume re-attaches a migrated session: the payload is a sealed
+	// resumption ticket (see internal/session) and the header epoch names
+	// the epoch the ticket was exported at, so the acceptor can bound-check
+	// a ticket before paying to open it. It is only meaningful as the
+	// opening frame of a fresh byte stream.
+	KindResume = 0x03
+	// KindResumeAck accepts a resume by echoing a masked digest of the
+	// ticket. It is sent under the resumed session's dialect family, so
+	// receiving it proves the acceptor adopted the ticket's rekey lineage.
+	KindResumeAck = 0x04
 )
 
 // bufPool recycles payload buffers between reads and serializations. It

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteProm renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4), so an endpoint's Metrics() can be served from a
+// /metrics handler and scraped without pulling in a client library —
+// this module stays dependency-free. Counters map to counter metrics,
+// live cache geometry to gauges; per-shard cache traffic is emitted
+// with a shard label so hot-shard imbalance is visible to the scraper
+// exactly as it is in CacheStats.PerShard.
+//
+// The writer is typically an http.ResponseWriter; any error is the
+// writer's, surfaced on the first failing write.
+func WriteProm(w io.Writer, s Snapshot) error {
+	p := promWriter{w: w}
+
+	r := s.Rotation
+	p.counter("protoobf_rotation_compiles_total",
+		"Dialect compiles performed (demand and prefetch).", r.Compiles)
+	p.counter("protoobf_rotation_prefetch_compiles_total",
+		"Dialect compiles performed ahead of need by a prefetch daemon.", r.PrefetchCompiles)
+	p.counter("protoobf_rotation_compile_dedup_total",
+		"Version lookups that joined an in-flight compile instead of burning their own.", r.CompileDedup)
+	p.counter("protoobf_rotation_compile_errors_total",
+		"Dialect compiles that failed.", r.CompileErrors)
+	p.counter("protoobf_rotation_rekeys_total",
+		"Rekey points applied across all session views.", r.Rekeys)
+	p.counter("protoobf_rotation_rekey_rollbacks_total",
+		"Rekey points rolled back after a failed handshake commit.", r.RekeyRollbacks)
+
+	c := r.Cache
+	p.counter("protoobf_cache_hits_total", "Version cache hits.", c.Hits)
+	p.counter("protoobf_cache_misses_total", "Version cache misses.", c.Misses)
+	p.counter("protoobf_cache_evictions_total", "Version cache evictions.", c.Evictions)
+	p.gauge("protoobf_cache_entries", "Compiled versions cached now.", uint64(c.Len))
+	p.gauge("protoobf_cache_capacity", "Configured version cache bound (0 = unbounded).", uint64(max(c.Cap, 0)))
+	if len(c.PerShard) > 0 {
+		p.header("protoobf_cache_shard_hits_total", "Version cache hits by shard.", "counter")
+		for i, row := range c.PerShard {
+			p.labeled("protoobf_cache_shard_hits_total", "shard", i, row.Hits)
+		}
+		p.header("protoobf_cache_shard_misses_total", "Version cache misses by shard.", "counter")
+		for i, row := range c.PerShard {
+			p.labeled("protoobf_cache_shard_misses_total", "shard", i, row.Misses)
+		}
+	}
+
+	f := s.Prefetch
+	p.counter("protoobf_prefetch_cycles_total", "Completed prefetch passes.", f.Cycles)
+	p.counter("protoobf_prefetch_compiled_total",
+		"Versions compiled strictly before their epoch began.", f.Compiled)
+	p.counter("protoobf_prefetch_warm_total",
+		"Prefetch targets already compiled when the daemon reached them.", f.Warm)
+	p.counter("protoobf_prefetch_late_total",
+		"Prefetch targets whose epoch began before the daemon finished with them.", f.Late)
+	p.counter("protoobf_prefetch_errors_total", "Prefetch compiles that failed.", f.Errors)
+
+	u := s.Resume
+	p.counter("protoobf_resume_tickets_issued_total",
+		"Resumption tickets exported by sessions of this endpoint.", u.TicketsIssued)
+	p.counter("protoobf_resume_accepts_total",
+		"Resume handshakes accepted.", u.Accepts)
+	p.header("protoobf_resume_rejects_total", "Resume handshakes rejected, by reason.", "counter")
+	p.labeledStr("protoobf_resume_rejects_total", "reason", "forged", u.RejectedForged)
+	p.labeledStr("protoobf_resume_rejects_total", "reason", "expired", u.RejectedExpired)
+	p.labeledStr("protoobf_resume_rejects_total", "reason", "state", u.RejectedState)
+
+	return p.err
+}
+
+// promWriter emits exposition lines, remembering the first write error
+// so callers check once at the end.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) counter(name, help string, v uint64) {
+	p.header(name, help, "counter")
+	p.printf("%s %d\n", name, v)
+}
+
+func (p *promWriter) gauge(name, help string, v uint64) {
+	p.header(name, help, "gauge")
+	p.printf("%s %d\n", name, v)
+}
+
+func (p *promWriter) labeled(name, label string, key int, v uint64) {
+	p.printf("%s{%s=\"%d\"} %d\n", name, label, key, v)
+}
+
+func (p *promWriter) labeledStr(name, label, key string, v uint64) {
+	p.printf("%s{%s=%q} %d\n", name, label, key, v)
+}

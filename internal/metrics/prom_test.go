@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failAfter fails every write past the first n bytes, exercising the
+// first-error-wins propagation.
+type failAfter struct {
+	n       int
+	written int
+}
+
+var errSink = errors.New("sink full")
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		return 0, errSink
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+func TestWritePromShape(t *testing.T) {
+	var s Snapshot
+	s.Rotation.Compiles = 7
+	s.Rotation.Cache.Hits = 42
+	s.Rotation.Cache.Len = 3
+	s.Rotation.Cache.Cap = -1 // unbounded renders as 0
+	s.Rotation.Cache.PerShard = []CacheShardStats{{Hits: 40}, {Hits: 2}}
+	s.Resume.Accepts = 5
+	s.Resume.RejectedExpired = 2
+
+	var sb strings.Builder
+	if err := WriteProm(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"protoobf_rotation_compiles_total 7",
+		"protoobf_cache_hits_total 42",
+		"protoobf_cache_entries 3",
+		"protoobf_cache_capacity 0",
+		`protoobf_cache_shard_hits_total{shard="0"} 40`,
+		`protoobf_cache_shard_hits_total{shard="1"} 2`,
+		"protoobf_resume_accepts_total 5",
+		`protoobf_resume_rejects_total{reason="expired"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line is "name value" or "name{labels} value".
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestWritePromError(t *testing.T) {
+	var s Snapshot
+	if err := WriteProm(&failAfter{n: 64}, s); !errors.Is(err, errSink) {
+		t.Fatalf("error = %v, want errSink", err)
+	}
+}

@@ -168,6 +168,59 @@ type PrefetchStats struct {
 // (compiled by the daemon or already warm) — the prefetch hits.
 func (s PrefetchStats) Lead() uint64 { return s.Compiled + s.Warm }
 
+// ResumeCounters counts the session migration subsystem's activity on
+// one endpoint: resumption tickets minted, and resume attempts the
+// acceptor side admitted or turned away (split by why). The zero value
+// is ready to use.
+type ResumeCounters struct {
+	// TicketsIssued counts resumption tickets exported by sessions of
+	// this endpoint.
+	TicketsIssued atomic.Uint64
+	// Accepts counts resume handshakes the acceptor side completed: the
+	// ticket verified, its lineage was adopted, and the ack was sent.
+	Accepts atomic.Uint64
+	// RejectedForged counts tickets that failed verification: a bad seal
+	// tag, an unparseable state, or a header epoch that contradicts the
+	// sealed one.
+	RejectedForged atomic.Uint64
+	// RejectedExpired counts tickets whose epoch fell outside the resume
+	// window — too far behind the acceptor's current epoch, or
+	// implausibly far ahead of it.
+	RejectedExpired atomic.Uint64
+	// RejectedState counts resumes the acceptor could not honor
+	// regardless of the ticket: a session that already moved traffic or
+	// rekeyed, a second resume on a resumed session, or a versioner
+	// without ticket support.
+	RejectedState atomic.Uint64
+}
+
+// Snapshot copies the counters into a ResumeStats.
+func (c *ResumeCounters) Snapshot() ResumeStats {
+	return ResumeStats{
+		TicketsIssued:   c.TicketsIssued.Load(),
+		Accepts:         c.Accepts.Load(),
+		RejectedForged:  c.RejectedForged.Load(),
+		RejectedExpired: c.RejectedExpired.Load(),
+		RejectedState:   c.RejectedState.Load(),
+	}
+}
+
+// ResumeStats is one endpoint's session-migration activity at snapshot
+// time.
+type ResumeStats struct {
+	TicketsIssued   uint64
+	Accepts         uint64
+	RejectedForged  uint64
+	RejectedExpired uint64
+	RejectedState   uint64
+}
+
+// Rejects returns the total resume attempts turned away, across every
+// rejection reason.
+func (s ResumeStats) Rejects() uint64 {
+	return s.RejectedForged + s.RejectedExpired + s.RejectedState
+}
+
 // Snapshot is the top-level observability snapshot of one endpoint:
 // its dialect family's compile/cache activity and its prefetch
 // daemon's work. Snapshots are plain values — diff two to measure an
@@ -175,6 +228,7 @@ func (s PrefetchStats) Lead() uint64 { return s.Compiled + s.Warm }
 type Snapshot struct {
 	Rotation RotationStats
 	Prefetch PrefetchStats
+	Resume   ResumeStats
 }
 
 // String renders the snapshot as an indented block, the format the
@@ -190,5 +244,8 @@ func (s Snapshot) String() string {
 	p := s.Prefetch
 	fmt.Fprintf(&sb, "prefetch: cycles=%d lead=%d (compiled=%d warm=%d) late=%d errors=%d\n",
 		p.Cycles, p.Lead(), p.Compiled, p.Warm, p.Late, p.Errors)
+	u := s.Resume
+	fmt.Fprintf(&sb, "resume:   tickets=%d accepts=%d rejects=%d (forged=%d expired=%d state=%d)\n",
+		u.TicketsIssued, u.Accepts, u.Rejects(), u.RejectedForged, u.RejectedExpired, u.RejectedState)
 	return sb.String()
 }

@@ -13,6 +13,7 @@ import (
 	"protoobf/internal/frame"
 	"protoobf/internal/graph"
 	"protoobf/internal/lru"
+	"protoobf/internal/metrics"
 	"protoobf/internal/msgtree"
 	"protoobf/internal/rng"
 	"protoobf/internal/session/sched"
@@ -112,6 +113,18 @@ type Options struct {
 	// MaxEpochLead overrides DefaultMaxEpochLead when nonzero.
 	MaxEpochLead uint64
 
+	// ResumeWindow bounds how many epochs behind the session's current
+	// horizon a resumption ticket's epoch may lie before the acceptor
+	// rejects it as expired: the migration subsystem's ticket lifetime,
+	// measured in epochs. 0 means DefaultResumeWindow.
+	ResumeWindow uint64
+
+	// ResumeStats, when non-nil, receives the session's migration
+	// activity (tickets exported, resumes accepted/rejected) — how the
+	// endpoint layer aggregates per-session resume events into one
+	// observable counter block.
+	ResumeStats *metrics.ResumeCounters
+
 	// SeedSource supplies fresh master seeds for automatic rekeying.
 	// Nil draws from crypto/rand; tests inject a deterministic source.
 	SeedSource func() int64
@@ -140,6 +153,9 @@ type Conn struct {
 	rekeyEvery      uint64
 	rekeyAfterBytes uint64
 	seedSource      func() int64
+	cacheWindow     int    // resolved lru window (0 = unbounded), the ticket's cache hint
+	resumeWindow    uint64 // ticket lifetime in epochs (acceptor side)
+	resumeStats     *metrics.ResumeCounters
 
 	// bytesMoved counts framed traffic in both directions (payload plus
 	// epoch header), the odometer behind the volume rekey trigger. It is
@@ -154,6 +170,15 @@ type Conn struct {
 	abandoned     *rekeyProposal // unacked proposal the schedule outran; honored if its ack arrives late
 	lastRekeyFrom uint64
 	rekeyBase     uint64 // bytesMoved at the last rekey boundary (volume trigger datum)
+
+	// Migration state (guarded by mu): resumed marks a session that was
+	// minted from a ticket or adopted one in-band (a session resumes at
+	// most once); await is the resuming side's pending handshake, and
+	// resumeDrops bounds how many peer control frames it may discard
+	// while the ack is outstanding (see handleControl).
+	resumed     bool
+	await       *resumeAwait
+	resumeDrops int
 
 	smu  sync.Mutex // serializes Send's buffer reuse
 	wbuf []byte
@@ -191,6 +216,20 @@ func NewConn(rw io.ReadWriter, versions Versioner) (*Conn, error) {
 // current wall-clock epoch before returning, so its first frames already
 // speak the fleet-wide dialect.
 func NewConnOpts(rw io.ReadWriter, versions Versioner, opts Options) (*Conn, error) {
+	c := newConn(rw, versions, opts)
+	if _, err := c.dialect(0); err != nil {
+		return nil, err
+	}
+	if err := c.syncSchedule(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// newConn builds a session without bringing up any dialect or adopting
+// the schedule — the construction half shared by NewConnOpts (which
+// starts at epoch 0) and ResumeConn (which starts at a ticket's epoch).
+func newConn(rw io.ReadWriter, versions Versioner, opts Options) *Conn {
 	window := opts.CacheWindow
 	if window == 0 {
 		window = DefaultCacheWindow
@@ -200,6 +239,10 @@ func NewConnOpts(rw io.ReadWriter, versions Versioner, opts Options) (*Conn, err
 	lead := opts.MaxEpochLead
 	if lead == 0 {
 		lead = DefaultMaxEpochLead
+	}
+	resumeWindow := opts.ResumeWindow
+	if resumeWindow == 0 {
+		resumeWindow = DefaultResumeWindow
 	}
 	seedSource := opts.SeedSource
 	if seedSource == nil {
@@ -214,6 +257,9 @@ func NewConnOpts(rw io.ReadWriter, versions Versioner, opts Options) (*Conn, err
 		rekeyEvery:      opts.RekeyEvery,
 		rekeyAfterBytes: opts.RekeyAfterBytes,
 		seedSource:      seedSource,
+		cacheWindow:     window,
+		resumeWindow:    resumeWindow,
+		resumeStats:     opts.ResumeStats,
 		byGraph:         make(map[*graph.Graph]uint64),
 		mrng:            rng.New(0x5e5510),
 		wbuf:            frame.GetBuffer(),
@@ -227,13 +273,7 @@ func NewConnOpts(rw io.ReadWriter, versions Versioner, opts Options) (*Conn, err
 			delete(c.byGraph, g)
 		}
 	})
-	if _, err := c.dialect(0); err != nil {
-		return nil, err
-	}
-	if err := c.syncSchedule(); err != nil {
-		return nil, err
-	}
-	return c, nil
+	return c
 }
 
 // Transport exposes the underlying byte layer (raw payload exchange,
@@ -649,9 +689,28 @@ func (c *Conn) maskControl(epoch uint64, p []byte) {
 }
 
 // handleControl dispatches one control frame from the Recv loop.
+//
+// While this side's own resume handshake is unacked, every control frame
+// except the awaited KindResumeAck is dropped (bounded by
+// resumeDropLimit) rather than processed: the acceptor may have written
+// control frames — typically an automatic rekey proposal minted at
+// session construction — before it processed our resume frame, and those
+// frames are masked under its pre-resume state, unreadable (or worse,
+// readable but stale) under the ticket's lineage. The stream is ordered,
+// so everything sent after the acceptor's resume ack is post-adoption
+// and processed normally.
 func (c *Conn) handleControl(kind byte, hdrEpoch uint64, payload []byte) error {
-	if kind != frame.KindRekeyPropose && kind != frame.KindRekeyAck {
+	switch kind {
+	case frame.KindResume:
+		return c.handleResume(hdrEpoch, payload)
+	case frame.KindResumeAck:
+		return c.handleResumeAck(hdrEpoch, payload)
+	case frame.KindRekeyPropose, frame.KindRekeyAck:
+	default:
 		return fmt.Errorf("session: unknown control frame kind %#02x", kind)
+	}
+	if c.dropPreResumeControl() {
+		return nil
 	}
 	if len(payload) != controlLen {
 		return fmt.Errorf("session: control frame of %d bytes, want %d", len(payload), controlLen)

@@ -44,6 +44,16 @@
 // handshake progresses on the Recv path of both peers, so it completes
 // as a side effect of normal traffic.
 //
+// Sessions also survive the byte stream they run on: Export seals the
+// resumable control-plane state (epoch, rekey lineage, traffic
+// odometer) into an opaque ticket keyed on the dialect family's base
+// secret, and ResumeConn replays a ticket onto a brand-new
+// io.ReadWriter — including sessions that have rekeyed, which a fresh
+// connection could never rejoin. The acceptor side is any ordinary
+// Conn: the KindResume control frame announces a resuming peer in-band
+// on the Recv path, bound-checked and tag-verified like the rekey
+// handshake (see resume.go).
+//
 // Compiled dialects are cached per connection in an LRU bounded by
 // Options.CacheWindow (internal/lru), and core.Rotation bounds its
 // shared compiled-version cache the same way (sharded, strict total

@@ -3,6 +3,7 @@ package protoobf
 import (
 	"context"
 	"errors"
+	"io"
 	"time"
 
 	"protoobf/internal/metrics"
@@ -25,7 +26,24 @@ func (ep *Endpoint) Metrics() Metrics {
 		m.Rotation = ep.rot.Stats()
 	}
 	m.Prefetch = ep.prefetchStats.Snapshot()
+	m.Resume = ep.resumeStats.Snapshot()
 	return m
+}
+
+// WriteProm renders a Metrics snapshot in the Prometheus text
+// exposition format, so an endpoint can be scraped with nothing but the
+// standard library:
+//
+//	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+//	    protoobf.WriteProm(w, ep.Metrics())
+//	})
+//
+// Counters become counter metrics (protoobf_rotation_compiles_total,
+// protoobf_resume_accepts_total{...}, ...), live cache geometry becomes
+// gauges, and per-shard cache traffic carries a shard label. The error
+// is the writer's, from the first failing write.
+func WriteProm(w io.Writer, m Metrics) error {
+	return metrics.WriteProm(w, m)
 }
 
 // Prefetcher is the handle to a running prefetch daemon (see
@@ -95,27 +113,50 @@ func (ep *Endpoint) StartPrefetch(ctx context.Context) (*Prefetcher, error) {
 	return p, nil
 }
 
-// prefetchWindow compiles epochs next..next+n-1 of the base family,
+// prefetchWindow compiles epochs next..next+n-1 of the base family —
+// and of every rekeyed family recently active on live sessions —
 // classifying each as compiled ahead, already warm, or late (its epoch
 // began before the daemon finished with it — the prefetch miss a
 // session may have paid for). Lateness is read after the compile
 // returns, so a compile that straddles its boundary — sessions stalled
 // joining it — is counted late, not lead.
+//
+// Warming the active rekeyed families closes the gap the base-only
+// daemon had: a session that negotiated an in-band rekey switched its
+// view to a fresh family, whose post-boundary dialects the daemon never
+// touched — so the first message after every boundary paid a demand
+// compile. The rotation tracks which rekeyed families live sessions
+// are actually demanding (bounded, idle families age out), and the
+// daemon keeps those families exactly as warm as the base one.
 func (ep *Endpoint) prefetchWindow(next uint64, n int) {
+	fams := ep.rot.ActiveFamilies(ep.base.schedule.Epoch())
 	for i := 0; i < n; i++ {
 		e := next + uint64(i)
 		compiled, err := ep.rot.Prefetch(e)
-		late := ep.base.schedule.Epoch() >= e
-		switch {
-		case err != nil:
-			ep.prefetchStats.Errors.Add(1)
-		case late:
-			ep.prefetchStats.Late.Add(1)
-		case compiled:
-			ep.prefetchStats.Compiled.Add(1)
-		default:
-			ep.prefetchStats.Warm.Add(1)
+		ep.recordPrefetch(e, compiled, err)
+		for _, fam := range fams {
+			if e < fam.From {
+				continue // the family does not exist at this epoch yet
+			}
+			compiled, err = ep.rot.PrefetchFamily(fam.Seed, e)
+			ep.recordPrefetch(e, compiled, err)
 		}
+	}
+}
+
+// recordPrefetch classifies one prefetch outcome against the epoch's
+// boundary.
+func (ep *Endpoint) recordPrefetch(e uint64, compiled bool, err error) {
+	late := ep.base.schedule.Epoch() >= e
+	switch {
+	case err != nil:
+		ep.prefetchStats.Errors.Add(1)
+	case late:
+		ep.prefetchStats.Late.Add(1)
+	case compiled:
+		ep.prefetchStats.Compiled.Add(1)
+	default:
+		ep.prefetchStats.Warm.Add(1)
 	}
 }
 

@@ -119,8 +119,11 @@ func TransformNames() []string {
 // explicit Rotate/Advance calls, or by following the peer. Sessions can
 // also rekey in-band (Session.Rekey, WithRekeyEvery on the epoch clock,
 // WithRekeyAfterBytes on traffic volume), switching the whole dialect
-// family to a fresh obfuscation seed. Sessions are minted from an
-// Endpoint; see internal/session for the transport details.
+// family to a fresh obfuscation seed — and they survive the connection
+// they run on: Session.Export seals the resumable state into an opaque
+// ticket, and Endpoint.Resume/DialResume reconstruct the session on a
+// brand-new byte stream, rekeyed family and all. Sessions are minted
+// from an Endpoint; see internal/session for the transport details.
 type Session = session.Conn
 
 // Schedule derives dialect epochs from coarse wall-clock time: epoch e

@@ -1,0 +1,153 @@
+// Internal tests of session migration's interaction with the prefetch
+// daemon. Like prefetch_test.go these live in package protoobf to
+// inject the daemon's boundary wait.
+package protoobf
+
+import (
+	"testing"
+	"time"
+
+	"protoobf/internal/session/sched"
+)
+
+// newTestSchedule is a fake-clocked schedule on the shared test genesis
+// and interval.
+func newTestSchedule() (*sched.FakeClock, *Schedule) {
+	genesis := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clock := sched.NewFakeClock(genesis)
+	return clock, NewSchedule(genesis, prefetchInterval).WithClock(clock.Now)
+}
+
+// TestResumeWithPrefetchZeroDemandCompiles is the acceptance property
+// of the migration subsystem: a session that has both epoch-rotated and
+// rekeyed is killed mid-stream and resumed on a brand-new duplex, and —
+// because the daemon now warms the active rekeyed families, not just
+// the base one — the resumed pair exchanges messages immediately with
+// zero demand compiles. The contrast run (no daemon) pays demand
+// compiles for the same sequence, proving the test would catch a cold
+// resume.
+func TestResumeWithPrefetchZeroDemandCompiles(t *testing.T) {
+	t.Run("prefetch-on", func(t *testing.T) {
+		rig := newPrefetchRig(t, 2)
+		a, b := sessionPair(t, rig.ep)
+
+		// Establish: traffic, then an in-band rekey (a proposes; b acks
+		// on its Recv; a completes on its own Recv).
+		if err := trip(a, b, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Rekey(0x5EED); err != nil {
+			t.Fatal(err)
+		}
+		if err := trip(a, b, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := trip(b, a, 3); err != nil {
+			t.Fatal(err)
+		}
+
+		// Cross a scheduled boundary with the daemon running: its pass
+		// now covers the rekeyed family the pair speaks.
+		rig.clock.Advance(prefetchInterval)
+		rig.sleeper.cycle()
+		if err := trip(a, b, 4); err != nil {
+			t.Fatal(err)
+		}
+
+		ticket, err := a.Export()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The fleet rotates once more while the connection is dead; the
+		// daemon keeps the upcoming epochs warm for base and rekeyed
+		// family alike.
+		rig.clock.Advance(prefetchInterval)
+		rig.sleeper.cycle()
+
+		base := rig.ep.Metrics()
+		ca, cb := Pipe()
+		b2, err := rig.ep.Session(cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := rig.ep.Resume(ca, ticket)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			a2.Release()
+			b2.Release()
+		})
+		if err := trip(a2, b2, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := trip(b2, a2, 6); err != nil {
+			t.Fatal(err)
+		}
+		m := rig.ep.Metrics()
+		if demand := m.Rotation.DemandCompiles() - base.Rotation.DemandCompiles(); demand != 0 {
+			t.Fatalf("resume of a rekeyed session paid %d demand compiles with the daemon warming its family, want 0", demand)
+		}
+		if got := m.Resume.Accepts - base.Resume.Accepts; got != 1 {
+			t.Fatalf("resume accepts = %d, want 1", got)
+		}
+		if got := m.Resume.Rejects(); got != 0 {
+			t.Fatalf("resume rejects = %d, want 0", got)
+		}
+	})
+
+	t.Run("prefetch-off", func(t *testing.T) {
+		// Same sequence without a daemon: the post-boundary dialects of
+		// the rekeyed family are cold and the resume pays for them.
+		clock, schedule := newTestSchedule()
+		ep, err := NewEndpoint(prefetchSpec, Options{PerNode: 2, Seed: 77}, WithSchedule(schedule))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := sessionPair(t, ep)
+		if err := trip(a, b, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Rekey(0x5EED); err != nil {
+			t.Fatal(err)
+		}
+		if err := trip(a, b, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := trip(b, a, 3); err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(prefetchInterval)
+		if err := trip(a, b, 4); err != nil {
+			t.Fatal(err)
+		}
+		ticket, err := a.Export()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(prefetchInterval)
+
+		base := ep.Metrics()
+		ca, cb := Pipe()
+		b2, err := ep.Session(cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := ep.Resume(ca, ticket)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			a2.Release()
+			b2.Release()
+		})
+		if err := trip(a2, b2, 5); err != nil {
+			t.Fatal(err)
+		}
+		m := ep.Metrics()
+		if demand := m.Rotation.DemandCompiles() - base.Rotation.DemandCompiles(); demand == 0 {
+			t.Fatal("contrast run paid no demand compiles; the prefetch-on assertion is not measuring anything")
+		}
+	})
+}

@@ -1,0 +1,542 @@
+package protoobf_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"protoobf"
+)
+
+// startEchoListener serves the beacon echo loop used by the TCP resume
+// tests: every accepted session answers each seqno with seqno+1000.
+func startEchoListener(t *testing.T, ep *protoobf.Endpoint) *protoobf.Listener {
+	t.Helper()
+	ln, err := ep.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			sess, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go func(sess *protoobf.Session) {
+				defer sess.Close()
+				for {
+					got, err := sess.Recv()
+					if err != nil {
+						return
+					}
+					seq, err := got.Scope().GetUint("seqno")
+					if err != nil {
+						return
+					}
+					reply, err := sess.NewMessage()
+					if err != nil {
+						return
+					}
+					if reply.Scope().SetUint("seqno", seq+1000) != nil {
+						return
+					}
+					if reply.Scope().SetString("note", "ack") != nil {
+						return
+					}
+					if sess.Send(reply) != nil {
+						return
+					}
+				}
+			}(sess)
+		}
+	}()
+	return ln
+}
+
+// echoTrip asks the echo server to bounce one seqno.
+func echoTrip(sess *protoobf.Session, seqno uint64) error {
+	m, err := sess.NewMessage()
+	if err != nil {
+		return err
+	}
+	if err := m.Scope().SetUint("seqno", seqno); err != nil {
+		return err
+	}
+	if err := m.Scope().SetString("note", "n"); err != nil {
+		return err
+	}
+	if err := sess.Send(m); err != nil {
+		return err
+	}
+	got, err := sess.Recv()
+	if err != nil {
+		return err
+	}
+	v, err := got.Scope().GetUint("seqno")
+	if err != nil {
+		return err
+	}
+	if v != seqno+1000 {
+		return fmt.Errorf("echoed seqno %d, want %d", v, seqno+1000)
+	}
+	return nil
+}
+
+// TestEndpointDialResume is the reconnect story over real TCP: a dialed
+// session rekeys in-band, its connection is torn down mid-life, and
+// DialResume re-attaches it — rekeyed family and all — on a brand-new
+// connection through the same unmodified accept loop that serves fresh
+// peers.
+func TestEndpointDialResume(t *testing.T) {
+	opts := protoobf.Options{PerNode: 1, Seed: 29}
+	server, err := protoobf.NewEndpoint(beaconSpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := protoobf.NewEndpoint(beaconSpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := startEchoListener(t, server)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sess, err := client.Dial(ctx, "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := echoTrip(sess, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Rekey in-band; the handshake completes across the next echoes.
+	if _, err := sess.Rekey(0x0D1A); err != nil {
+		t.Fatal(err)
+	}
+	if err := echoTrip(sess, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := echoTrip(sess, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Rotate past the rekey boundary so the resumed state is nontrivial.
+	for i := 0; i < 3; i++ {
+		if _, err := sess.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := echoTrip(sess, 10+uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantEpoch := sess.Epoch()
+	ticket, err := sess.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The connection dies. A fresh Dial could never rejoin this session —
+	// the server side would speak the base family — but DialResume does.
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := client.DialResume(ctx, "tcp", ln.Addr().String(), ticket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if got := resumed.Epoch(); got != wantEpoch {
+		t.Fatalf("resumed epoch = %d, want %d", got, wantEpoch)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if err := echoTrip(resumed, 100+i); err != nil {
+			t.Fatalf("post-resume trip %d: %v", i, err)
+		}
+	}
+
+	if got := client.Metrics().Resume.TicketsIssued; got != 1 {
+		t.Fatalf("client tickets issued = %d, want 1", got)
+	}
+	// The accept side processes the resume frame on its Recv path; the
+	// first post-resume echo has completed, so the accept is counted.
+	if got := server.Metrics().Resume.Accepts; got != 1 {
+		t.Fatalf("server resume accepts = %d, want 1", got)
+	}
+	if got := server.Metrics().Resume.Rejects(); got != 0 {
+		t.Fatalf("server resume rejects = %d, want 0", got)
+	}
+}
+
+// TestResumeWrongFamilyTicket: a ticket sealed by an endpoint with a
+// different base seed is rejected locally by Resume (before anything
+// touches the wire) and counted on the resuming endpoint.
+func TestResumeWrongFamilyTicket(t *testing.T) {
+	epA, err := protoobf.NewEndpoint(beaconSpec, protoobf.Options{PerNode: 1, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := protoobf.NewEndpoint(beaconSpec, protoobf.Options{PerNode: 1, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := protoobf.Pipe()
+	a, err := epA.Session(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := epA.Session(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Release()
+	defer b.Release()
+	roundTrip(t, a, b, 1)
+	ticket, err := a.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	na, _ := protoobf.Pipe()
+	if _, err := epB.Resume(na, ticket); err == nil {
+		t.Fatal("ticket of a different family resumed")
+	}
+	if got := epB.Metrics().Resume.RejectedForged; got != 1 {
+		t.Fatalf("forged rejects on resuming endpoint = %d, want 1", got)
+	}
+	// Truncated tickets die the same way.
+	if _, err := epA.Resume(na, ticket[:4]); err == nil {
+		t.Fatal("truncated ticket resumed")
+	}
+}
+
+// TestKillResumeSoak is the migration soak: 64 concurrent sessions on
+// one endpoint pair, each repeatedly exchanging traffic, rekeying its
+// own family, being killed, and resuming on a fresh duplex — across
+// scheduled epoch rotations — with every byte differentially verified.
+// Run under -race this exercises ticket export/import racing the
+// shared version cache, the family-liveness table, and the endpoint's
+// resume counters from 64 goroutines at once.
+func TestKillResumeSoak(t *testing.T) {
+	const (
+		nSessions = 64
+		nCycles   = 3
+	)
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	schedule := protoobf.NewSchedule(clk.t, time.Minute).WithClock(clk.now)
+	opts := protoobf.Options{PerNode: 1, Seed: 41}
+	epSrv, err := protoobf.NewEndpoint(beaconSpec, opts, protoobf.WithSchedule(schedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	epCli, err := protoobf.NewEndpoint(beaconSpec, opts, protoobf.WithSchedule(schedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type duo struct{ cli, srv *protoobf.Session }
+	duos := make([]duo, nSessions)
+	for i := range duos {
+		ca, cb := protoobf.Pipe()
+		cli, err := epCli.Session(ca)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := epSrv.Session(cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		duos[i] = duo{cli: cli, srv: srv}
+	}
+	defer func() {
+		for _, d := range duos {
+			d.cli.Close()
+			d.srv.Close()
+		}
+	}()
+
+	for cycle := 0; cycle < nCycles; cycle++ {
+		var wg sync.WaitGroup
+		errs := make([]error, nSessions)
+		for i := range duos {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = func() error {
+					d := &duos[i]
+					seq := uint64(cycle*1000 + i)
+					// Traffic, then a session-private rekey; the
+					// handshake completes across the next two trips.
+					if err := soakTrip(d.cli, d.srv, seq); err != nil {
+						return fmt.Errorf("pre-rekey: %w", err)
+					}
+					if _, err := d.cli.Rekey(int64(1000*cycle + i + 7)); err != nil {
+						return fmt.Errorf("rekey: %w", err)
+					}
+					if err := soakTrip(d.cli, d.srv, seq+1); err != nil {
+						return fmt.Errorf("rekey propose: %w", err)
+					}
+					if err := soakTrip(d.srv, d.cli, seq+2); err != nil {
+						return fmt.Errorf("rekey ack: %w", err)
+					}
+					ticket, err := d.cli.Export()
+					if err != nil {
+						return fmt.Errorf("export: %w", err)
+					}
+					// Kill both ends; resume on a fresh duplex.
+					d.cli.Close()
+					d.srv.Close()
+					ca, cb := protoobf.Pipe()
+					srv2, err := epSrv.Session(cb)
+					if err != nil {
+						return fmt.Errorf("fresh acceptor: %w", err)
+					}
+					cli2, err := epCli.Resume(ca, ticket)
+					if err != nil {
+						return fmt.Errorf("resume: %w", err)
+					}
+					d.cli, d.srv = cli2, srv2
+					if err := soakTrip(cli2, srv2, seq+3); err != nil {
+						return fmt.Errorf("post-resume: %w", err)
+					}
+					return soakTrip(srv2, cli2, seq+4)
+				}()
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("session %d cycle %d: %v", i, cycle, err)
+			}
+		}
+		clk.advance(time.Minute)
+	}
+
+	srvM, cliM := epSrv.Metrics(), epCli.Metrics()
+	if got, want := srvM.Resume.Accepts, uint64(nSessions*nCycles); got != want {
+		t.Fatalf("server resume accepts = %d, want %d", got, want)
+	}
+	if got, want := cliM.Resume.TicketsIssued, uint64(nSessions*nCycles); got != want {
+		t.Fatalf("client tickets issued = %d, want %d", got, want)
+	}
+	if got := srvM.Resume.Rejects() + cliM.Resume.Rejects(); got != 0 {
+		t.Fatalf("soak produced %d resume rejects, want 0", got)
+	}
+	if srvM.Rotation.Rekeys == 0 {
+		t.Fatal("soak completed no rekeys; it is not exercising migration of rekeyed sessions")
+	}
+}
+
+// soakTrip sends one beacon from -> to and verifies the seqno.
+func soakTrip(from, to *protoobf.Session, seqno uint64) error {
+	m, err := from.NewMessage()
+	if err != nil {
+		return err
+	}
+	if err := m.Scope().SetUint("seqno", seqno); err != nil {
+		return err
+	}
+	if err := m.Scope().SetString("note", "soak"); err != nil {
+		return err
+	}
+	if err := from.Send(m); err != nil {
+		return err
+	}
+	got, err := to.Recv()
+	if err != nil {
+		return err
+	}
+	v, err := got.Scope().GetUint("seqno")
+	if err != nil {
+		return err
+	}
+	if v != seqno {
+		return fmt.Errorf("decoded seqno %d, want %d", v, seqno)
+	}
+	return nil
+}
+
+// BenchmarkResume measures what re-attaching a rekeyed session costs
+// via a resumption ticket versus the no-ticket alternative — a fresh
+// session that must negotiate a new in-band rekey (fresh family, fresh
+// dialect compile, extra round trips) to get back to a private family.
+// Each iteration reconnects over a fresh duplex up to the first
+// verified round trip. The resume path stays warm (same lineage, cached
+// dialects); the fresh path pays the re-rekey, exactly as a ticketless
+// reconnect would in production.
+func BenchmarkResume(b *testing.B) {
+	opts := protoobf.Options{PerNode: 2, Seed: 61}
+	newEndpoints := func(b *testing.B) (*protoobf.Endpoint, *protoobf.Endpoint) {
+		b.Helper()
+		epSrv, err := protoobf.NewEndpoint(beaconSpec, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		epCli, err := protoobf.NewEndpoint(beaconSpec, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return epSrv, epCli
+	}
+	benchTrip := func(from, to *protoobf.Session, seq uint64) error {
+		return soakTrip(from, to, seq)
+	}
+
+	b.Run("ticket-resume", func(b *testing.B) {
+		epSrv, epCli := newEndpoints(b)
+		// Establish once: traffic, an in-band rekey, a few rotations —
+		// then export the ticket every iteration resumes from.
+		ca, cb := protoobf.Pipe()
+		cli, err := epCli.Session(ca)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := epSrv.Session(cb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := benchTrip(cli, srv, 1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cli.Rekey(0x5EED); err != nil {
+			b.Fatal(err)
+		}
+		if err := benchTrip(cli, srv, 2); err != nil {
+			b.Fatal(err)
+		}
+		if err := benchTrip(srv, cli, 3); err != nil {
+			b.Fatal(err)
+		}
+		ticket, err := cli.Export()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cli.Close()
+		srv.Close()
+
+		base := epSrv.Metrics()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			na, nb := protoobf.Pipe()
+			srv2, err := epSrv.Session(nb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cli2, err := epCli.Resume(na, ticket)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := benchTrip(cli2, srv2, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+			cli2.Close()
+			srv2.Close()
+		}
+		b.StopTimer()
+		m := epSrv.Metrics()
+		b.ReportMetric(float64(m.Rotation.DemandCompiles()-base.Rotation.DemandCompiles())/float64(b.N), "demand-compiles/op")
+		if got := m.Resume.Accepts - base.Resume.Accepts; got != uint64(b.N) {
+			b.Fatalf("resume accepts = %d, want %d", got, b.N)
+		}
+	})
+
+	b.Run("fresh-dial-rekey", func(b *testing.B) {
+		epSrv, epCli := newEndpoints(b)
+		base := epSrv.Metrics()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			na, nb := protoobf.Pipe()
+			srv2, err := epSrv.Session(nb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cli2, err := epCli.Session(na)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// A fresh family per reconnect, as a real re-rekey would be.
+			if _, err := cli2.Rekey(int64(0x10_0000 + i)); err != nil {
+				b.Fatal(err)
+			}
+			if err := benchTrip(cli2, srv2, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+			if err := benchTrip(srv2, cli2, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+			cli2.Close()
+			srv2.Close()
+		}
+		b.StopTimer()
+		m := epSrv.Metrics()
+		b.ReportMetric(float64(m.Rotation.DemandCompiles()-base.Rotation.DemandCompiles())/float64(b.N), "demand-compiles/op")
+	})
+}
+
+// TestWriteProm renders an endpoint's live metrics in the Prometheus
+// text format and checks shape and a few values: every counter family
+// has HELP/TYPE headers, the resume rejects carry reason labels, and
+// the numbers match the snapshot they were rendered from.
+func TestWriteProm(t *testing.T) {
+	ep, err := protoobf.NewEndpoint(beaconSpec, protoobf.Options{PerNode: 1, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := protoobf.Pipe()
+	a, err := ep.Session(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ep.Session(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Release()
+	defer b.Release()
+	roundTrip(t, a, b, 9)
+	if _, err := a.Export(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := ep.Metrics()
+	var sb strings.Builder
+	if err := protoobf.WriteProm(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP protoobf_rotation_compiles_total",
+		"# TYPE protoobf_rotation_compiles_total counter",
+		fmt.Sprintf("protoobf_rotation_compiles_total %d", m.Rotation.Compiles),
+		fmt.Sprintf("protoobf_cache_hits_total %d", m.Rotation.Cache.Hits),
+		"# TYPE protoobf_cache_entries gauge",
+		fmt.Sprintf("protoobf_resume_tickets_issued_total %d", m.Resume.TicketsIssued),
+		`protoobf_resume_rejects_total{reason="forged"} 0`,
+		`protoobf_resume_rejects_total{reason="expired"} 0`,
+		`protoobf_resume_rejects_total{reason="state"} 0`,
+		`protoobf_cache_shard_hits_total{shard="0"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if m.Resume.TicketsIssued != 1 {
+		t.Fatalf("tickets issued = %d, want 1", m.Resume.TicketsIssued)
+	}
+	// Exactly one exposition line per metric name+labels: no duplicates.
+	seen := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key := line[:strings.IndexByte(line, ' ')]
+		if seen[key] {
+			t.Fatalf("duplicate exposition line for %s", key)
+		}
+		seen[key] = true
+	}
+}
