@@ -17,6 +17,7 @@
 //	protoobf-bench -endpoint -tcp                      # same workload over loopback TCP
 //	protoobf-bench -migrate -sessions 8 -cycles 4      # kill-and-resume migration workload
 //	protoobf-bench -migrate -tcp -metrics              # same over loopback TCP, with snapshots
+//	protoobf-bench -adversary -out bench-out           # standing adversary run, BENCH_<runid>.json
 //	protoobf-bench -all                                # everything, default sizes
 //
 // SIGINT/SIGTERM cancel a run cleanly: in-flight workloads stop between
@@ -78,6 +79,9 @@ func run(ctx context.Context, args []string) error {
 	resilience := fs.Bool("resilience", false, "run the §VII-D resilience assessment")
 	calibrate := fs.Float64("calibrate", 0, "search the per-node level whose residual PRE score falls below this target (e.g. 0.2)")
 	ablation := fs.Bool("ablation", false, "run the per-transformation ablation study")
+	adversaryWL := fs.Bool("adversary", false, "run the standing adversary evaluation and emit BENCH_<runid>.json")
+	outDir := fs.String("out", ".", "directory the adversary run writes its BENCH_<runid>.json into")
+	runID := fs.String("runid", "", "run id naming the BENCH JSON file (default: UTC timestamp)")
 	sessionWL := fs.Bool("session", false, "run the scheduled-rotation session workload")
 	endpointWL := fs.Bool("endpoint", false, "run the many-sessions-one-family endpoint workload")
 	migrateWL := fs.Bool("migrate", false, "run the kill-and-resume session migration workload")
@@ -93,6 +97,27 @@ func run(ctx context.Context, args []string) error {
 	all := fs.Bool("all", false, "run every experiment for both protocols")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *adversaryWL {
+		rep, err := bench.RunAdversary(ctx, bench.AdversaryConfig{
+			RunID:   *runID,
+			Seed:    *seed,
+			PerNode: 2,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Table())
+		path, err := rep.WriteJSON(*outDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		if rep.Mutation.Crashes > 0 {
+			return fmt.Errorf("mutation campaign crashed %d times (see %s)", rep.Mutation.Crashes, path)
+		}
+		return nil
 	}
 
 	if *migrateWL {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -44,6 +47,29 @@ func TestRunMigrateWorkload(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-migrate", "-sessions", "2", "-cycles", "2", "-msgs", "2", "-tcp", "-metrics"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunAdversaryWorkload(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(context.Background(), []string{"-adversary", "-out", dir, "-runid", "cli-test", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_cli-test.json"))
+	if err != nil {
+		t.Fatalf("BENCH JSON not written: %v", err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH JSON malformed: %v", err)
+	}
+	for _, key := range []string{"schema", "run_id", "created", "distinguishers", "mutation", "covert", "perf"} {
+		if _, ok := rep[key]; !ok {
+			t.Errorf("BENCH JSON lacks %q", key)
+		}
+	}
+	if got := rep["schema"]; got != "protoobf-bench/v1" {
+		t.Errorf("schema = %v", got)
 	}
 }
 

@@ -1,0 +1,206 @@
+package adversary
+
+import (
+	"testing"
+	"time"
+
+	"protoobf/internal/frame"
+)
+
+// capture is the shared shorthand for a deterministic labeled capture.
+func capture(t *testing.T, perNode int, trafficSeed int64, gap func(int) time.Duration) *Trace {
+	t.Helper()
+	tr, err := Capture(CaptureConfig{PerNode: perNode, Seed: 11, TrafficSeed: trafficSeed, Gap: gap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func byName(accs []Accuracy) map[string]Accuracy {
+	out := map[string]Accuracy{}
+	for _, a := range accs {
+		out[a.Name] = a
+	}
+	return out
+}
+
+// TestDistinguisherPositiveControl is the sensitivity half of the
+// control pair: on plaintext-versus-obfuscated traffic with identical
+// application payloads, every content distinguisher must classify with
+// high held-out accuracy, and when the two captures also differ in
+// timing profile the timing distinguisher must too. A harness whose
+// distinguishers cannot even tell unobfuscated framed traffic apart
+// measures nothing.
+func TestDistinguisherPositiveControl(t *testing.T) {
+	plain := capture(t, 0, 1, nil)
+	obf := capture(t, 2, 1, nil)
+	accs := byName(Evaluate(plain, obf, 16))
+	for _, name := range []string{"length-ks", "length-chi2", "byte-entropy"} {
+		if a := accs[name]; a.Accuracy < 0.9 {
+			t.Errorf("%s accuracy = %.3f, want >= 0.9 on plain-vs-obf", name, a.Accuracy)
+		}
+	}
+	// Same synthetic gap profile on both sides: timing carries no signal
+	// here, and a timing score that still "separates" would be reading
+	// labels through a side channel.
+	if a := accs["timing-ks"]; a.Accuracy < 0.3 || a.Accuracy > 0.7 {
+		t.Errorf("timing-ks accuracy = %.3f on identically timed traffic, want near chance", a.Accuracy)
+	}
+
+	// Distinct gap profiles: now timing must separate.
+	bursty := capture(t, 2, 1, func(i int) time.Duration {
+		if i%4 == 0 {
+			return 20 * time.Millisecond
+		}
+		return time.Millisecond
+	})
+	if a := byName(Evaluate(plain, bursty, 16))["timing-ks"]; a.Accuracy < 0.9 {
+		t.Errorf("timing-ks accuracy = %.3f, want >= 0.9 on distinct gap profiles", a.Accuracy)
+	}
+}
+
+// TestDistinguisherNoBiasControl is the other half: on two independent
+// captures of identically distributed plaintext traffic, every
+// distinguisher must land near chance. High "accuracy" here would mean
+// the harness's threshold fit leaks training labels into the held-out
+// score, inflating every number it reports.
+func TestDistinguisherNoBiasControl(t *testing.T) {
+	a := capture(t, 0, 1, nil)
+	b := capture(t, 0, 2, nil)
+	for _, acc := range Evaluate(a, b, 16) {
+		if acc.Accuracy > 0.75 {
+			t.Errorf("%s accuracy = %.3f on identically distributed traffic, want <= 0.75", acc.Name, acc.Accuracy)
+		}
+	}
+	// And obfuscated-versus-obfuscated, same family: also near chance.
+	oa := capture(t, 2, 1, nil)
+	ob := capture(t, 2, 2, nil)
+	for _, acc := range Evaluate(oa, ob, 16) {
+		if acc.Accuracy > 0.75 {
+			t.Errorf("%s accuracy = %.3f on obf-vs-obf, want <= 0.75", acc.Name, acc.Accuracy)
+		}
+	}
+}
+
+// TestEvaluateHoldout pins the split discipline: accuracies are
+// measured on held-out windows only, so the reported window count is
+// the test half, not the whole capture.
+func TestEvaluateHoldout(t *testing.T) {
+	plain := capture(t, 0, 1, nil)
+	obf := capture(t, 2, 1, nil)
+	accs := Evaluate(plain, obf, 16)
+	if len(accs) != 4 {
+		t.Fatalf("distinguisher count = %d, want 4", len(accs))
+	}
+	// 256 frames / 16 per window = 16 windows per trace, 8 held out each.
+	for _, a := range accs {
+		if a.Windows != 16 {
+			t.Errorf("%s held-out windows = %d, want 16", a.Name, a.Windows)
+		}
+		if a.Accuracy < 0 || a.Accuracy > 1 {
+			t.Errorf("%s accuracy = %v out of range", a.Name, a.Accuracy)
+		}
+	}
+}
+
+// TestTapReassembly: the tap reconstructs frames from arbitrarily
+// chunked writes — headers and payloads split across Write calls — and
+// stamps each frame when its final byte lands.
+func TestTapReassembly(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	now := base
+	tap := NewTap(func() time.Time { return now })
+
+	hdr := make([]byte, frame.EpochHeaderLen)
+	if err := frame.EncodeHeader(hdr, frame.KindData, 7, 3); err != nil {
+		t.Fatal(err)
+	}
+	stream := append(append([]byte(nil), hdr...), 'a', 'b', 'c')
+	if err := frame.EncodeHeader(hdr, frame.KindRekeyPropose, 9, 2); err != nil {
+		t.Fatal(err)
+	}
+	stream = append(append(stream, hdr...), 'x', 'y')
+
+	// Dribble the stream one byte at a time, ticking the clock.
+	for _, b := range stream {
+		now = now.Add(time.Second)
+		tap.Write([]byte{b})
+	}
+	tr := tap.Trace()
+	if len(tr.Frames) != 2 {
+		t.Fatalf("frames = %d, want 2", len(tr.Frames))
+	}
+	f0, f1 := tr.Frames[0], tr.Frames[1]
+	if f0.Kind != frame.KindData || f0.Epoch != 7 || string(f0.Payload) != "abc" {
+		t.Errorf("frame 0 = %+v", f0)
+	}
+	if f1.Kind != frame.KindRekeyPropose || f1.Epoch != 9 || string(f1.Payload) != "xy" {
+		t.Errorf("frame 1 = %+v", f1)
+	}
+	// Frame 0 completes at byte 15 (header 12 + 3 payload), frame 1 at
+	// the final byte.
+	if want := base.Add(15 * time.Second); !f0.At.Equal(want) {
+		t.Errorf("frame 0 stamped %v, want %v", f0.At, want)
+	}
+	if want := base.Add(time.Duration(len(stream)) * time.Second); !f1.At.Equal(want) {
+		t.Errorf("frame 1 stamped %v, want %v", f1.At, want)
+	}
+	if len(tr.Raw) != len(stream) {
+		t.Errorf("raw bytes = %d, want %d", len(tr.Raw), len(stream))
+	}
+}
+
+// TestMutationCampaign: every mutated stream either decodes or is
+// rejected with a bucketed reason; a crash anywhere under Recv fails
+// the whole harness.
+func TestMutationCampaign(t *testing.T) {
+	res, err := RunMutations(MutationConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 0 {
+		t.Fatalf("crashes = %d, want 0: %+v", res.Crashes, res)
+	}
+	if want := len(Strategies) * 48; res.Total != want {
+		t.Errorf("total cases = %d, want %d", res.Total, want)
+	}
+	if res.Decoded+res.Rejected() != res.Total {
+		t.Errorf("decoded %d + rejected %d != total %d", res.Decoded, res.Rejected(), res.Total)
+	}
+	if res.Rejected() == 0 {
+		t.Error("no mutation was ever rejected: the campaign is not reaching the transport")
+	}
+	// The taxonomy must be populated, not a single catch-all bucket.
+	for _, reason := range []string{"truncated", "frame-header"} {
+		if res.Rejects[reason] == 0 {
+			t.Errorf("reject reason %q never observed: %v", reason, res.Rejects)
+		}
+	}
+}
+
+// TestCovertCapacity: at perNode 0 every epoch version encodes the
+// probe identically and the dialect channel carries 0 bits; at a real
+// obfuscation level the capacity is positive and bounded by log2(K).
+func TestCovertCapacity(t *testing.T) {
+	off, err := CovertCapacity(0, 32, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Bits != 0 || off.Distinct != 1 {
+		t.Errorf("perNode 0: bits=%v distinct=%d, want 0 bits from 1 encoding", off.Bits, off.Distinct)
+	}
+	on, err := CovertCapacity(2, 32, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Bits <= 0 {
+		t.Errorf("perNode 2: bits=%v, want > 0", on.Bits)
+	}
+	if on.Bits > on.MaxBits+1e-9 {
+		t.Errorf("bits %v exceed ceiling %v", on.Bits, on.MaxBits)
+	}
+	if want := 5.0; on.MaxBits != want {
+		t.Errorf("max bits = %v, want %v for 32 epochs", on.MaxBits, want)
+	}
+}

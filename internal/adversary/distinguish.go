@@ -1,0 +1,241 @@
+package adversary
+
+import (
+	"math"
+	"sort"
+
+	"protoobf/internal/stats"
+)
+
+// Accuracy is the evaluated performance of one distinguisher: the
+// held-out balanced accuracy of a threshold classifier trained on the
+// distinguisher's window scores, plus the per-class recalls. 0.5 is
+// chance; 1.0 separates the classes perfectly.
+type Accuracy struct {
+	Name        string  `json:"name"`
+	Accuracy    float64 `json:"accuracy"`
+	PlainRecall float64 `json:"plain_recall"`
+	ObfRecall   float64 `json:"obf_recall"`
+	Threshold   float64 `json:"threshold"`
+	Windows     int     `json:"windows"` // held-out windows scored
+}
+
+// window is the feature view of a run of consecutive frames.
+type window struct {
+	lengths []float64    // payload lengths, one per frame
+	gaps    []float64    // inter-frame deltas in seconds
+	hist    [256]float64 // pooled byte histogram over all payloads
+}
+
+// windows chops a trace into consecutive n-frame windows (the partial
+// tail is dropped: every window scores over the same sample size).
+func (t *Trace) windows(n int) []window {
+	if n <= 0 {
+		n = 16
+	}
+	var out []window
+	for start := 0; start+n <= len(t.Frames); start += n {
+		var w window
+		for i := start; i < start+n; i++ {
+			f := t.Frames[i]
+			w.lengths = append(w.lengths, float64(len(f.Payload)))
+			for _, b := range f.Payload {
+				w.hist[b]++
+			}
+			if i > start {
+				w.gaps = append(w.gaps, f.At.Sub(t.Frames[i-1].At).Seconds())
+			}
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// distinguisher scores one window; higher-or-lower polarity is left to
+// the threshold fit. The reference samples come from the plaintext
+// training windows — the adversary's labeled baseline.
+type distinguisher struct {
+	name  string
+	score func(w *window) float64
+}
+
+// lengthBins is the histogram resolution of the chi-squared length test.
+const lengthBins = 12
+
+// distinguishers builds the panel against a plaintext reference: pooled
+// lengths and gaps from the plain training windows.
+func distinguishers(refLengths, refGaps []float64) []distinguisher {
+	lo, hi := bounds(refLengths)
+	refHist := histogram(refLengths, lo, hi, lengthBins)
+	return []distinguisher{
+		{"length-ks", func(w *window) float64 {
+			return stats.KS(w.lengths, refLengths)
+		}},
+		{"length-chi2", func(w *window) float64 {
+			obs := histogram(w.lengths, lo, hi, lengthBins)
+			expected := scale(refHist, float64(len(w.lengths)))
+			return stats.ChiSquared(obs, expected)
+		}},
+		{"byte-entropy", func(w *window) float64 {
+			return stats.Entropy(w.hist[:])
+		}},
+		{"timing-ks", func(w *window) float64 {
+			return stats.KS(w.gaps, refGaps)
+		}},
+	}
+}
+
+// Evaluate trains and scores the distinguisher panel on two labeled
+// traces. Both traces are chopped into windowFrames-sized windows and
+// split even/odd into train and test halves; each distinguisher's
+// window scores fit a threshold (with polarity) maximizing balanced
+// accuracy on the training half, and the reported Accuracy is measured
+// on the held-out half only. With identically distributed traces every
+// distinguisher should land near 0.5 — the no-bias control.
+func Evaluate(plain, obf *Trace, windowFrames int) []Accuracy {
+	plainW := plain.windows(windowFrames)
+	obfW := obf.windows(windowFrames)
+	plainTrain, plainTest := split(plainW)
+	obfTrain, obfTest := split(obfW)
+
+	var refLengths, refGaps []float64
+	for i := range plainTrain {
+		refLengths = append(refLengths, plainTrain[i].lengths...)
+		refGaps = append(refGaps, plainTrain[i].gaps...)
+	}
+
+	var out []Accuracy
+	for _, d := range distinguishers(refLengths, refGaps) {
+		thr, obfAbove := fitThreshold(scores(d.score, plainTrain), scores(d.score, obfTrain))
+		plainRecall := recall(scores(d.score, plainTest), thr, obfAbove, false)
+		obfRecall := recall(scores(d.score, obfTest), thr, obfAbove, true)
+		out = append(out, Accuracy{
+			Name:        d.name,
+			Accuracy:    (plainRecall + obfRecall) / 2,
+			PlainRecall: plainRecall,
+			ObfRecall:   obfRecall,
+			Threshold:   thr,
+			Windows:     len(plainTest) + len(obfTest),
+		})
+	}
+	return out
+}
+
+// split deals windows alternately into train and test halves. The
+// interleave (rather than a prefix split) keeps both halves spanning the
+// whole capture, so epoch-position effects cancel instead of leaking
+// into the accuracy.
+func split(ws []window) (train, test []*window) {
+	for i := range ws {
+		if i%2 == 0 {
+			train = append(train, &ws[i])
+		} else {
+			test = append(test, &ws[i])
+		}
+	}
+	return train, test
+}
+
+func scores(f func(*window) float64, ws []*window) []float64 {
+	out := make([]float64, len(ws))
+	for i, w := range ws {
+		out[i] = f(w)
+	}
+	return out
+}
+
+// fitThreshold picks the cut (and its polarity: does "obfuscated" lie
+// above or below?) maximizing balanced accuracy on the training scores.
+// Candidate cuts are the midpoints between adjacent distinct scores,
+// plus one below and one above everything.
+func fitThreshold(plain, obf []float64) (thr float64, obfAbove bool) {
+	all := append(append([]float64(nil), plain...), obf...)
+	sort.Float64s(all)
+	candidates := []float64{all[0] - 1}
+	for i := 1; i < len(all); i++ {
+		if all[i] != all[i-1] {
+			candidates = append(candidates, (all[i]+all[i-1])/2)
+		}
+	}
+	candidates = append(candidates, all[len(all)-1]+1)
+
+	best := math.Inf(-1)
+	for _, c := range candidates {
+		for _, above := range []bool{true, false} {
+			acc := (recall(plain, c, above, false) + recall(obf, c, above, true)) / 2
+			if acc > best {
+				best, thr, obfAbove = acc, c, above
+			}
+		}
+	}
+	return thr, obfAbove
+}
+
+// recall is the fraction of scores classified as their true label under
+// (thr, obfAbove): a score above thr reads "obfuscated" when obfAbove,
+// "plaintext" otherwise.
+func recall(scores []float64, thr float64, obfAbove, labelObf bool) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, s := range scores {
+		predictObf := (s > thr) == obfAbove
+		if predictObf == labelObf {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(scores))
+}
+
+// bounds returns the min and max of values (0,1 when empty, so
+// histogram stays well-defined).
+func bounds(values []float64) (lo, hi float64) {
+	if len(values) == 0 {
+		return 0, 1
+	}
+	lo, hi = values[0], values[0]
+	for _, v := range values[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+// histogram bins values over [lo, hi] into n counts; out-of-range
+// values clamp to the edge bins (the obfuscated lengths routinely
+// exceed the plaintext range, and that mass belongs in the top bin, not
+// off the books).
+func histogram(values []float64, lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for _, v := range values {
+		i := int((v - lo) / (hi - lo) * float64(n))
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		out[i]++
+	}
+	return out
+}
+
+// scale returns hist normalized to the given total mass.
+func scale(hist []float64, total float64) []float64 {
+	var sum float64
+	for _, v := range hist {
+		sum += v
+	}
+	out := make([]float64, len(hist))
+	if sum == 0 {
+		return out
+	}
+	for i, v := range hist {
+		out[i] = v / sum * total
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package adversary
+
+import (
+	"bytes"
+	"testing"
+
+	"protoobf/internal/core"
+	"protoobf/internal/rng"
+	"protoobf/internal/session"
+)
+
+// FuzzWireMutation extends the mutation campaign with fuzzer-driven
+// streams: arbitrary bytes — seeded with real mutated captures from
+// every strategy — fed through a session receiver's Recv path must
+// error cleanly, never panic or hang. Unlike RunMutations, nothing here
+// recovers: a panic is a fuzz failure the corpus will pin.
+func FuzzWireMutation(f *testing.F) {
+	opts := core.ObfuscationOptions{PerNode: 2, Seed: 11}
+	rotTx, err := core.NewRotation(Spec, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	rot, err := core.NewRotation(Spec, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	frames, err := baselineFrames(rotTx, 4, 11)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	// Seed corpus: the pristine stream plus one mutant per strategy.
+	f.Add(bytes.Join(frames, nil))
+	r := rng.New(3)
+	for _, strategy := range Strategies {
+		f.Add(Mutate(frames, strategy, r))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rx, err := session.NewConn(discardWriter{bytes.NewReader(data)}, rot.View())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rx.Release()
+		// Bounded: every Recv consumes at least a frame header's worth of
+		// input or errors.
+		for {
+			if _, err := rx.Recv(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,436 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"protoobf"
+	"protoobf/internal/adversary"
+	"protoobf/internal/core"
+	"protoobf/internal/session"
+)
+
+// BenchSchema names the BENCH_<runid>.json layout; bump it when a field
+// changes meaning, so trajectory tooling can refuse files it does not
+// understand.
+const BenchSchema = "protoobf-bench/v1"
+
+// AdversaryConfig parameterizes the standing adversary run: the
+// distinguisher panel, the mutation campaign, the covert-capacity
+// estimate and the perf trajectory, all folded into one machine-readable
+// report.
+type AdversaryConfig struct {
+	// RunID names the report file BENCH_<RunID>.json; empty derives one
+	// from the creation timestamp.
+	RunID string
+	// Seed is the campaign seed (family, traffic and mutations).
+	Seed int64
+	// PerNode is the obfuscation level under attack (default 2).
+	PerNode int
+	// Msgs is the capture size per labeled trace (default 256).
+	Msgs int
+	// Window is the distinguisher window, in frames (default 16).
+	Window int
+	// MutationCases is the number of mutated streams per strategy
+	// (default 48).
+	MutationCases int
+	// CovertEpochs is the number of dialect versions probed for the
+	// capacity estimate (default 32).
+	CovertEpochs int
+	// PerfIters scales the perf loops (default 2000 roundtrips); unit
+	// tests shrink it.
+	PerfIters int
+}
+
+// PerfReport is the performance half of the trajectory: numbers that
+// regress silently unless a file tracks them.
+type PerfReport struct {
+	// SteadyNsPerOp and SteadyAllocsPerOp measure one Send plus one raw
+	// payload Recv on a warm static session — the pooled-buffer hot path
+	// (allocs/op is 0 when the pools hold).
+	SteadyNsPerOp     int64   `json:"session_steady_ns_per_op"`
+	SteadyAllocsPerOp float64 `json:"session_steady_allocs_per_op"`
+	// RoundtripNsPerOp measures a full obfuscated Send plus
+	// dialect-decoding Recv through an Endpoint session pair.
+	RoundtripNsPerOp     int64   `json:"session_roundtrip_ns_per_op"`
+	RoundtripAllocsPerOp float64 `json:"session_roundtrip_allocs_per_op"`
+	// EndpointMsgsPerSec is the many-sessions-one-family throughput of
+	// the endpoint workload, and DemandCompiles the dialect compiles its
+	// sessions paid on their hot paths (the boundary-crossing cost the
+	// prefetch daemon exists to remove).
+	EndpointMsgsPerSec float64 `json:"endpoint_msgs_per_sec"`
+	DemandCompiles     uint64  `json:"demand_compiles"`
+	// ColdVersionNsPerOp is one demand compile of a fresh epoch version
+	// (what a session pays at an unprefetched boundary);
+	// WarmVersionNsPerOp is the same lookup answered by the shared cache.
+	ColdVersionNsPerOp int64 `json:"cold_version_ns_per_op"`
+	WarmVersionNsPerOp int64 `json:"warm_version_ns_per_op"`
+}
+
+// BenchReport is the machine-readable outcome of one adversary run —
+// one point on the repo's BENCH trajectory.
+type BenchReport struct {
+	Schema         string                     `json:"schema"`
+	RunID          string                     `json:"run_id"`
+	Created        string                     `json:"created"` // RFC3339, UTC
+	Go             string                     `json:"go"`
+	Seed           int64                      `json:"seed"`
+	PerNode        int                        `json:"per_node"`
+	Distinguishers []adversary.Accuracy       `json:"distinguishers"`
+	Mutation       adversary.MutationResult   `json:"mutation"`
+	Covert         []adversary.CovertEstimate `json:"covert"`
+	Perf           PerfReport                 `json:"perf"`
+}
+
+// RunAdversary executes the full standing-adversary evaluation.
+func RunAdversary(ctx context.Context, cfg AdversaryConfig) (*BenchReport, error) {
+	if cfg.PerNode <= 0 {
+		cfg.PerNode = 2
+	}
+	if cfg.Msgs <= 0 {
+		cfg.Msgs = 256
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 16
+	}
+	if cfg.MutationCases <= 0 {
+		cfg.MutationCases = 48
+	}
+	if cfg.CovertEpochs <= 0 {
+		cfg.CovertEpochs = 32
+	}
+	if cfg.PerfIters <= 0 {
+		cfg.PerfIters = 2000
+	}
+	created := time.Now().UTC()
+	if cfg.RunID == "" {
+		cfg.RunID = created.Format("20060102T150405Z")
+	}
+
+	plain, err := adversary.Capture(adversary.CaptureConfig{
+		PerNode: 0, Seed: cfg.Seed, TrafficSeed: cfg.Seed + 1, Msgs: cfg.Msgs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: plaintext capture: %w", err)
+	}
+	obf, err := adversary.Capture(adversary.CaptureConfig{
+		PerNode: cfg.PerNode, Seed: cfg.Seed, TrafficSeed: cfg.Seed + 1, Msgs: cfg.Msgs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: obfuscated capture: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	mut, err := adversary.RunMutations(adversary.MutationConfig{
+		PerNode: cfg.PerNode, Seed: cfg.Seed, Cases: cfg.MutationCases,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: mutation campaign: %w", err)
+	}
+
+	var covert []adversary.CovertEstimate
+	for _, level := range []int{0, cfg.PerNode} {
+		ce, err := adversary.CovertCapacity(level, cfg.CovertEpochs, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: covert capacity: %w", err)
+		}
+		covert = append(covert, ce)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	perf, err := measurePerf(ctx, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: perf trajectory: %w", err)
+	}
+
+	return &BenchReport{
+		Schema:         BenchSchema,
+		RunID:          cfg.RunID,
+		Created:        created.Format(time.RFC3339),
+		Go:             runtime.Version(),
+		Seed:           cfg.Seed,
+		PerNode:        cfg.PerNode,
+		Distinguishers: adversary.Evaluate(plain, obf, cfg.Window),
+		Mutation:       *mut,
+		Covert:         covert,
+		Perf:           *perf,
+	}, nil
+}
+
+// advPingSpec is the reference-free message of the steady-state loops
+// (mirrors the root benchmark's ping shape).
+const advPingSpec = `
+protocol advping;
+root seq m end {
+    uint a 2;
+    uint b 4;
+    bytes payload fixed 8;
+}
+`
+
+// measurePerf runs the bounded perf loops. These are trajectory
+// numbers — sized for run-to-run comparability, not for the statistical
+// rigor of go test -bench.
+func measurePerf(ctx context.Context, cfg AdversaryConfig) (*PerfReport, error) {
+	var p PerfReport
+
+	// Steady state: warm static session into a drained buffer.
+	proto, err := core.Compile(advPingSpec, core.ObfuscationOptions{})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	steady, err := session.NewConn(&buf, session.Fixed(proto.Graph))
+	if err != nil {
+		return nil, err
+	}
+	defer steady.Release()
+	sm, err := buildPing(steady)
+	if err != nil {
+		return nil, err
+	}
+	tr := steady.Transport()
+	scratch := make([]byte, 0, 64)
+	steadyOp := func() error {
+		if err := steady.Send(sm); err != nil {
+			return err
+		}
+		out, _, err := tr.RecvPayload(scratch[:0])
+		if err != nil {
+			return err
+		}
+		scratch = out
+		return nil
+	}
+	p.SteadyNsPerOp, p.SteadyAllocsPerOp, err = timeOp(cfg.PerfIters*4, steadyOp)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Roundtrip: obfuscated Endpoint session pair over a pipe.
+	opts := protoobf.Options{PerNode: cfg.PerNode, Seed: cfg.Seed}
+	epA, err := protoobf.NewEndpoint(advPingSpec, opts)
+	if err != nil {
+		return nil, err
+	}
+	epB, err := protoobf.NewEndpoint(advPingSpec, opts)
+	if err != nil {
+		return nil, err
+	}
+	ca, cb := protoobf.Pipe()
+	a, err := epA.Session(ca)
+	if err != nil {
+		return nil, err
+	}
+	defer a.Release()
+	b, err := epB.Session(cb)
+	if err != nil {
+		return nil, err
+	}
+	defer b.Release()
+	rm, err := buildPing(a)
+	if err != nil {
+		return nil, err
+	}
+	tripOp := func() error {
+		if err := a.Send(rm); err != nil {
+			return err
+		}
+		_, err := b.Recv()
+		return err
+	}
+	p.RoundtripNsPerOp, p.RoundtripAllocsPerOp, err = timeOp(cfg.PerfIters, tripOp)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Boundary-crossing cost: a demand compile of a fresh epoch version
+	// versus the same lookup warm from the cache.
+	rot, err := core.NewRotation(advPingSpec, core.ObfuscationOptions{PerNode: cfg.PerNode, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	coldEpoch := uint64(0)
+	coldIters := cfg.PerfIters / 20
+	if coldIters < 8 {
+		coldIters = 8
+	}
+	p.ColdVersionNsPerOp, _, err = timeOp(coldIters, func() error {
+		_, err := rot.Version(coldEpoch)
+		coldEpoch++
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.WarmVersionNsPerOp, _, err = timeOp(cfg.PerfIters*4, func() error {
+		_, err := rot.Version(0)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Endpoint throughput and the demand compiles its sessions paid.
+	eres, err := RunEndpoint(ctx, EndpointConfig{
+		Sessions:     8,
+		Epochs:       4,
+		MsgsPerEpoch: 8,
+		PerNode:      cfg.PerNode,
+		Seed:         cfg.Seed,
+		Window:       64,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.EndpointMsgsPerSec = eres.MsgsPerSec
+	p.DemandCompiles = eres.SrvMetrics.Rotation.DemandCompiles() + eres.CliMetrics.Rotation.DemandCompiles()
+	return &p, nil
+}
+
+// buildPing composes the fixed ping message on c.
+func buildPing(c *session.Conn) (m *protoobf.Message, err error) {
+	if m, err = c.NewMessage(); err != nil {
+		return nil, err
+	}
+	s := m.Scope()
+	if err := s.SetUint("a", 7); err != nil {
+		return nil, err
+	}
+	if err := s.SetUint("b", 1234); err != nil {
+		return nil, err
+	}
+	if err := s.SetBytes("payload", []byte("01234567")); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// timeOp measures op over iters iterations (after one warmup call) and
+// its steady-state allocations per op.
+func timeOp(iters int, op func() error) (nsPerOp int64, allocsPerOp float64, err error) {
+	if err := op(); err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := op(); err != nil {
+			return 0, 0, err
+		}
+	}
+	nsPerOp = time.Since(start).Nanoseconds() / int64(iters)
+	allocsPerOp = testing.AllocsPerRun(8, func() {
+		if e := op(); e != nil && err == nil {
+			err = e
+		}
+	})
+	return nsPerOp, allocsPerOp, err
+}
+
+// Validate checks the report is structurally sound before it is written
+// or consumed: schema and identity fields present, every accuracy in
+// range, the mutation tallies consistent, and the perf numbers positive.
+// It does NOT require zero crashes — a report documenting a crash is
+// valid (and alarming); callers decide whether to fail on it.
+func (r *BenchReport) Validate() error {
+	if r.Schema != BenchSchema {
+		return fmt.Errorf("bench: schema %q, want %q", r.Schema, BenchSchema)
+	}
+	if r.RunID == "" || strings.ContainsAny(r.RunID, `/\ `) {
+		return fmt.Errorf("bench: run id %q is not filename-safe", r.RunID)
+	}
+	if _, err := time.Parse(time.RFC3339, r.Created); err != nil {
+		return fmt.Errorf("bench: created %q: %w", r.Created, err)
+	}
+	if len(r.Distinguishers) == 0 {
+		return fmt.Errorf("bench: no distinguisher results")
+	}
+	for _, d := range r.Distinguishers {
+		if d.Name == "" || d.Accuracy < 0 || d.Accuracy > 1 || d.Windows <= 0 {
+			return fmt.Errorf("bench: malformed distinguisher result %+v", d)
+		}
+	}
+	rejected := 0
+	for _, v := range r.Mutation.Rejects {
+		rejected += v
+	}
+	if r.Mutation.Total <= 0 || r.Mutation.Decoded+r.Mutation.Crashes+rejected != r.Mutation.Total {
+		return fmt.Errorf("bench: mutation tallies inconsistent: %+v", r.Mutation)
+	}
+	if len(r.Covert) == 0 {
+		return fmt.Errorf("bench: no covert estimates")
+	}
+	for _, c := range r.Covert {
+		if c.Bits < 0 || c.Bits > c.MaxBits+1e-9 {
+			return fmt.Errorf("bench: covert bits out of range: %+v", c)
+		}
+	}
+	if r.Perf.SteadyNsPerOp <= 0 || r.Perf.RoundtripNsPerOp <= 0 ||
+		r.Perf.ColdVersionNsPerOp <= 0 || r.Perf.WarmVersionNsPerOp <= 0 ||
+		r.Perf.EndpointMsgsPerSec <= 0 {
+		return fmt.Errorf("bench: perf numbers missing: %+v", r.Perf)
+	}
+	return nil
+}
+
+// WriteJSON validates the report and writes BENCH_<runid>.json into
+// dir, returning the file path.
+func (r *BenchReport) WriteJSON(dir string) (string, error) {
+	if err := r.Validate(); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+r.RunID+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Table renders the human-readable summary the CLI prints alongside the
+// JSON file.
+func (r *BenchReport) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ADVERSARY — standing evaluation (run %s, perNode=%d, seed=%d)\n",
+		r.RunID, r.PerNode, r.Seed)
+	sb.WriteString("distinguishers (held-out balanced accuracy; 0.5 = chance):\n")
+	for _, d := range r.Distinguishers {
+		fmt.Fprintf(&sb, "  %-14s %.3f (plain recall %.2f, obf recall %.2f, %d windows)\n",
+			d.Name, d.Accuracy, d.PlainRecall, d.ObfRecall, d.Windows)
+	}
+	fmt.Fprintf(&sb, "mutation campaign: %d cases, %d crashes, %d decoded, %d rejected\n",
+		r.Mutation.Total, r.Mutation.Crashes, r.Mutation.Decoded, r.Mutation.Rejected())
+	for reason, n := range r.Mutation.Rejects {
+		fmt.Fprintf(&sb, "  reject %-13s %d\n", reason, n)
+	}
+	for _, c := range r.Covert {
+		fmt.Fprintf(&sb, "covert capacity perNode=%d: %.2f bits/msg (ceiling %.2f over %d epochs, %d distinct encodings)\n",
+			c.PerNode, c.Bits, c.MaxBits, c.Epochs, c.Distinct)
+	}
+	fmt.Fprintf(&sb, "perf: steady %d ns/op (%.1f allocs), roundtrip %d ns/op (%.1f allocs)\n",
+		r.Perf.SteadyNsPerOp, r.Perf.SteadyAllocsPerOp, r.Perf.RoundtripNsPerOp, r.Perf.RoundtripAllocsPerOp)
+	fmt.Fprintf(&sb, "      boundary: cold version %d ns/op vs warm %d ns/op; endpoint %.0f msgs/s, %d demand compiles\n",
+		r.Perf.ColdVersionNsPerOp, r.Perf.WarmVersionNsPerOp, r.Perf.EndpointMsgsPerSec, r.Perf.DemandCompiles)
+	return sb.String()
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"protoobf/internal/adversary"
+)
+
+// smallAdversary keeps the unit-test run fast; the CLI runs full size.
+func smallAdversary() AdversaryConfig {
+	return AdversaryConfig{
+		RunID:         "test-run",
+		Seed:          7,
+		Msgs:          96,
+		Window:        8,
+		MutationCases: 8,
+		CovertEpochs:  8,
+		PerfIters:     64,
+	}
+}
+
+func TestRunAdversary(t *testing.T) {
+	rep, err := RunAdversary(context.Background(), smallAdversary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if rep.Mutation.Crashes != 0 {
+		t.Fatalf("mutation crashes = %d: %+v", rep.Mutation.Crashes, rep.Mutation)
+	}
+	// The content distinguishers must see through perNode 0 vs 2 even at
+	// this reduced capture size.
+	seen := map[string]bool{}
+	for _, d := range rep.Distinguishers {
+		seen[d.Name] = true
+		if d.Name != "timing-ks" && d.Accuracy < 0.8 {
+			t.Errorf("%s accuracy = %.3f, want >= 0.8", d.Name, d.Accuracy)
+		}
+	}
+	for _, want := range []string{"length-ks", "length-chi2", "byte-entropy", "timing-ks"} {
+		if !seen[want] {
+			t.Errorf("distinguisher %q missing from report", want)
+		}
+	}
+	// The covert calibration point and the live estimate.
+	if rep.Covert[0].PerNode != 0 || rep.Covert[0].Bits != 0 {
+		t.Errorf("covert calibration row wrong: %+v", rep.Covert[0])
+	}
+	if rep.Covert[1].Bits <= 0 {
+		t.Errorf("covert estimate empty: %+v", rep.Covert[1])
+	}
+	table := rep.Table()
+	for _, want := range []string{"ADVERSARY", "mutation campaign", "covert capacity", "boundary"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table lacks %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestBenchReportWriteJSON(t *testing.T) {
+	rep, err := RunAdversary(context.Background(), smallAdversary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := rep.WriteJSON(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_test-run.json"); path != want {
+		t.Errorf("path = %q, want %q", path, want)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("re-read report invalid: %v", err)
+	}
+	if back.RunID != "test-run" || back.Schema != BenchSchema {
+		t.Errorf("identity fields lost: %+v", back)
+	}
+	if len(back.Mutation.Rejects) == 0 {
+		t.Error("reject taxonomy lost in serialization")
+	}
+}
+
+func TestBenchReportValidateRejects(t *testing.T) {
+	rep, err := RunAdversary(context.Background(), smallAdversary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		corrupt func(*BenchReport)
+	}{
+		{"schema", func(r *BenchReport) { r.Schema = "nope" }},
+		{"runid-empty", func(r *BenchReport) { r.RunID = "" }},
+		{"runid-slash", func(r *BenchReport) { r.RunID = "a/b" }},
+		{"created", func(r *BenchReport) { r.Created = "yesterday" }},
+		{"no-distinguishers", func(r *BenchReport) { r.Distinguishers = nil }},
+		{"accuracy-range", func(r *BenchReport) { r.Distinguishers[0].Accuracy = 1.5 }},
+		{"mutation-tally", func(r *BenchReport) { r.Mutation.Decoded += 3 }},
+		{"covert-range", func(r *BenchReport) { r.Covert[0].Bits = r.Covert[0].MaxBits + 1 }},
+		{"perf-missing", func(r *BenchReport) { r.Perf.RoundtripNsPerOp = 0 }},
+	}
+	for _, c := range cases {
+		bad := *rep
+		// Deep-enough copies for the fields the cases mutate.
+		bad.Distinguishers = append([]adversary.Accuracy(nil), rep.Distinguishers...)
+		bad.Covert = append([]adversary.CovertEstimate(nil), rep.Covert...)
+		c.corrupt(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s: corrupted report validated", c.name)
+		}
+		if _, err := bad.WriteJSON(t.TempDir()); err == nil {
+			t.Errorf("%s: corrupted report written", c.name)
+		}
+	}
+	if err := rep.Validate(); err != nil {
+		t.Errorf("pristine report no longer validates: %v", err)
+	}
+}

@@ -2,8 +2,11 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
+
+	"protoobf/internal/stats"
 )
 
 // smallCfg keeps unit-test campaigns fast; the CLI runs the full size.
@@ -93,6 +96,35 @@ func TestTimeFitsPositiveSlope(t *testing.T) {
 	t.Logf("serialize: %v", ser)
 	if parse.Slope < -1e-4 || ser.Slope < -1e-4 {
 		t.Errorf("time slopes negative: parse %v, serialize %v", parse.Slope, ser.Slope)
+	}
+}
+
+// TestTimeFigureDegenerateX pins the report behavior on a single-level
+// campaign where every run applies the same transformation count (level
+// 0 applies none): the scatter still renders, with the fit lines marked
+// n/a, and TimeFits surfaces the stats.ErrDegenerate sentinel instead of
+// an opaque failure.
+func TestTimeFigureDegenerateX(t *testing.T) {
+	res, err := Run(Config{Protocol: "modbus", Runs: 3, Levels: []int{0}, MsgsPerRun: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := res.TimeFigure()
+	if err != nil {
+		t.Fatalf("TimeFigure failed on degenerate x: %v", err)
+	}
+	if !strings.Contains(fig, "fit:     n/a (degenerate x)") {
+		t.Errorf("figure lacks the n/a fit line:\n%s", fig)
+	}
+	if !strings.Contains(fig, "applied,parse_ms,serialize_ms") {
+		t.Errorf("figure lost its scatter:\n%s", fig)
+	}
+	// The scatter rows themselves must still be present (3 runs).
+	if got := strings.Count(fig, "\n0,"); got != 3 {
+		t.Errorf("scatter rows = %d, want 3:\n%s", got, fig)
+	}
+	if _, _, err := res.TimeFits(); !errors.Is(err, stats.ErrDegenerate) {
+		t.Errorf("TimeFits err = %v, want stats.ErrDegenerate", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -44,7 +45,10 @@ func (r *Result) Table() string {
 // TimeFigure renders the data of figures 4/5: the per-run scatter of
 // parsing and serialization times against the number of applied
 // transformations, with the least-squares fits and correlation
-// coefficients the paper draws.
+// coefficients the paper draws. A campaign whose x values are degenerate
+// (a single-level run where every experiment applied the same
+// transformation count) still has a scatter worth printing, so that case
+// renders "fit: n/a (degenerate x)" instead of failing the whole report.
 func (r *Result) TimeFigure() (string, error) {
 	var xs, parseYs, serYs []float64
 	for _, l := range r.Levels {
@@ -54,11 +58,21 @@ func (r *Result) TimeFigure() (string, error) {
 			serYs = append(serYs, p.SerializeMs)
 		}
 	}
-	parseFit, err := stats.Fit(xs, parseYs)
+	fitLine := func(y []float64) (string, error) {
+		fit, err := stats.Fit(xs, y)
+		if errors.Is(err, stats.ErrDegenerate) {
+			return "n/a (degenerate x)", nil
+		}
+		if err != nil {
+			return "", err
+		}
+		return fit.String(), nil
+	}
+	parseFit, err := fitLine(parseYs)
 	if err != nil {
 		return "", err
 	}
-	serFit, err := stats.Fit(xs, serYs)
+	serFit, err := fitLine(serYs)
 	if err != nil {
 		return "", err
 	}
@@ -68,8 +82,8 @@ func (r *Result) TimeFigure() (string, error) {
 		fig = "FIGURE 5 — MODBUS"
 	}
 	fmt.Fprintf(&b, "%s: parsing and serialization time vs transformations applied\n", fig)
-	fmt.Fprintf(&b, "parse fit:     %v\n", parseFit)
-	fmt.Fprintf(&b, "serialize fit: %v\n", serFit)
+	fmt.Fprintf(&b, "parse fit:     %s\n", parseFit)
+	fmt.Fprintf(&b, "serialize fit: %s\n", serFit)
 	b.WriteString("applied,parse_ms,serialize_ms\n")
 	for i := range xs {
 		fmt.Fprintf(&b, "%.0f,%.6f,%.6f\n", xs[i], parseYs[i], serYs[i])
@@ -77,7 +91,9 @@ func (r *Result) TimeFigure() (string, error) {
 	return b.String(), nil
 }
 
-// TimeFits returns the two regressions of the time figure.
+// TimeFits returns the two regressions of the time figure. On a
+// campaign with degenerate x values it returns stats.ErrDegenerate, so
+// callers can distinguish "no line exists" from a real failure.
 func (r *Result) TimeFits() (parse, serialize stats.LinReg, err error) {
 	var xs, parseYs, serYs []float64
 	for _, l := range r.Levels {

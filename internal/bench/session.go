@@ -96,7 +96,7 @@ func RunSession(ctx context.Context, cfg SessionConfig) (*SessionResult, error) 
 	// count. Both peers share the source, which is fine: proposals carry
 	// the seed in-band and the tie-break resolves crossings.
 	var rekeys atomic.Int64
-	seedSource := func() int64 { return 0x5EED0 + rekeys.Add(1) }
+	seedSource := func() (int64, error) { return 0x5EED0 + rekeys.Add(1), nil }
 
 	o := session.Options{
 		Schedule:    schedule,

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"strings"
 )
 
 // WriteProm renders a Snapshot in the Prometheus text exposition format
@@ -105,5 +106,31 @@ func (p *promWriter) labeled(name, label string, key int, v uint64) {
 }
 
 func (p *promWriter) labeledStr(name, label, key string, v uint64) {
-	p.printf("%s{%s=%q} %d\n", name, label, key, v)
+	p.printf("%s{%s=\"%s\"} %d\n", name, label, escapeLabel(key), v)
+}
+
+// escapeLabel escapes a label value per the text exposition format
+// (version 0.0.4): backslash, double-quote and newline only. Go's %q is
+// NOT equivalent — it emits \uXXXX and \xXX escapes for control and
+// non-ASCII bytes, which the Prometheus parser does not define and
+// either rejects or reads literally.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
 }

@@ -63,6 +63,70 @@ func TestWritePromShape(t *testing.T) {
 	}
 }
 
+// TestEscapeLabel pins the exposition-format escaping rules: exactly
+// backslash, double-quote and newline are escaped, and nothing else —
+// Go's %q would emit \uXXXX/\xXX sequences the format does not define.
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"\\\"\n", `\\\"\n`},
+		// Bytes %q would mangle must pass through verbatim.
+		{"tab\there", "tab\there"},
+		{"ünïcode → λ", "ünïcode → λ"},
+		{"nul\x00byte", "nul\x00byte"},
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// unescapeLabel decodes a label value the way a Prometheus text-format
+// parser does, so the round trip proves the writer emits only sequences
+// the parser defines.
+func unescapeLabel(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			i++
+			switch v[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				// Undefined escape: a real parser errors here; surface it
+				// loudly so the test catches any such emission.
+				b.WriteString("<UNDEFINED-ESCAPE>")
+			}
+			continue
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
+// TestEscapeLabelRoundTrip: every value survives writer-escape followed
+// by parser-unescape, including ones %q would have corrupted.
+func TestEscapeLabelRoundTrip(t *testing.T) {
+	values := []string{
+		"", "forged", "expired", "state",
+		`path\with\backslashes`, `say "hi"`, "multi\nline",
+		"ctrl\x01\x7f", "utf8 Ünïcode λ", "mixed \\\" \n end",
+	}
+	for _, v := range values {
+		if got := unescapeLabel(escapeLabel(v)); got != v {
+			t.Errorf("round trip of %q = %q", v, got)
+		}
+	}
+}
+
 func TestWritePromError(t *testing.T) {
 	var s Snapshot
 	if err := WriteProm(&failAfter{n: 64}, s); !errors.Is(err, errSink) {

@@ -8,7 +8,6 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"protoobf/internal/frame"
 	"protoobf/internal/graph"
@@ -126,8 +125,11 @@ type Options struct {
 	ResumeStats *metrics.ResumeCounters
 
 	// SeedSource supplies fresh master seeds for automatic rekeying.
-	// Nil draws from crypto/rand; tests inject a deterministic source.
-	SeedSource func() int64
+	// Nil draws from crypto/rand and fails closed when the system
+	// entropy source is unavailable — the session reports the error and
+	// keeps its current family rather than rekeying from predictable
+	// material. Tests inject a deterministic source.
+	SeedSource func() (int64, error)
 }
 
 // Conn is an obfuscated message session over a byte stream: Send
@@ -152,7 +154,7 @@ type Conn struct {
 	schedule        *sched.Scheduler
 	rekeyEvery      uint64
 	rekeyAfterBytes uint64
-	seedSource      func() int64
+	seedSource      func() (int64, error)
 	cacheWindow     int    // resolved lru window (0 = unbounded), the ticket's cache hint
 	resumeWindow    uint64 // ticket lifetime in epochs (acceptor side)
 	resumeStats     *metrics.ResumeCounters
@@ -433,8 +435,7 @@ func (c *Conn) Send(m *msgtree.Message) error {
 		return err
 	}
 	c.bytesMoved.Add(uint64(len(out)) + frame.EpochHeaderLen)
-	c.maybeVolumeRekey()
-	return nil
+	return c.maybeVolumeRekey()
 }
 
 // Recv reads frames until one data frame decodes, handling control
@@ -500,7 +501,9 @@ func (c *Conn) Recv() (*msgtree.Message, error) {
 		c.t.Advance(follow)
 		c.mu.Unlock()
 		c.bytesMoved.Add(uint64(len(buf)) + frame.EpochHeaderLen)
-		c.maybeVolumeRekey()
+		if err := c.maybeVolumeRekey(); err != nil {
+			return nil, err
+		}
 		return m, nil
 	}
 }
@@ -612,7 +615,14 @@ func (c *Conn) maybeAutoRekey() error {
 	if !due {
 		return nil
 	}
-	_, _, err := c.rekey(c.seedSource())
+	seed, err := c.seedSource()
+	if err != nil {
+		// Fail closed: no seed, no rekey, and the caller hears about it —
+		// continuing silently would leave traffic on a family that was
+		// due to rotate.
+		return err
+	}
+	_, _, err = c.rekey(seed)
 	return err
 }
 
@@ -627,13 +637,16 @@ func (c *Conn) maybeAutoRekey() error {
 // after a Send delivered its payload (or a Recv decoded its message),
 // and a completed operation must not be reported as failed — rekey()
 // already rolled the registration back, and a genuinely broken stream
-// surfaces on the next write regardless.
-func (c *Conn) maybeVolumeRekey() {
+// surfaces on the next write regardless. A failed seed draw is
+// different: the entropy source being down has no later write to
+// surface on, so it is returned and fails the operation — better a loud
+// error than a session that silently stops honoring its traffic bound.
+func (c *Conn) maybeVolumeRekey() error {
 	if c.rekeyAfterBytes == 0 {
-		return
+		return nil
 	}
 	if _, ok := c.versions.(Rekeyer); !ok {
-		return
+		return nil
 	}
 	// The odometer is read under c.mu: rekeyBase is only ever assigned
 	// from a bytesMoved.Load() inside this lock, so the base can never
@@ -645,9 +658,14 @@ func (c *Conn) maybeVolumeRekey() {
 	due := c.pending == nil && moved-c.rekeyBase >= c.rekeyAfterBytes
 	c.mu.Unlock()
 	if !due {
-		return
+		return nil
 	}
-	_, _, _ = c.rekey(c.seedSource())
+	seed, err := c.seedSource()
+	if err != nil {
+		return err
+	}
+	_, _, _ = c.rekey(seed)
+	return nil
 }
 
 // Control-frame payload: a masked magic/epoch/seed triple. The magic
@@ -847,13 +865,22 @@ func (c *Conn) dropDialectsFrom(from uint64) {
 	c.mu.Unlock()
 }
 
+// entropy is the randomness behind the default SeedSource. It is a
+// package variable only so tests can prove the fail-closed path; nothing
+// else may reassign it.
+var entropy io.Reader = crand.Reader
+
 // randomSeed draws a fresh positive master seed for automatic rekeying.
-func randomSeed() int64 {
+// It fails closed: when the system entropy source errors there is no
+// fallback — a rekey seeded from a guessable value (a timestamp, say)
+// would downgrade the whole dialect family to brute-forceable material
+// while looking exactly like a healthy rotation on the wire.
+func randomSeed() (int64, error) {
 	var b [8]byte
-	if _, err := crand.Read(b[:]); err == nil {
-		return int64(binary.BigEndian.Uint64(b[:]) >> 1)
+	if _, err := io.ReadFull(entropy, b[:]); err != nil {
+		return 0, fmt.Errorf("session: rekey seed entropy unavailable: %w", err)
 	}
-	return time.Now().UnixNano()
+	return int64(binary.BigEndian.Uint64(b[:]) >> 1), nil
 }
 
 // Pair connects two in-memory peers with a buffered duplex, each

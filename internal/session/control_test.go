@@ -1,6 +1,7 @@
 package session
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -610,12 +611,12 @@ func TestScheduledAutoRekey(t *testing.T) {
 		Options{
 			Schedule:   sched.New(schedGenesis, interval).WithClock(clockA.Now),
 			RekeyEvery: every,
-			SeedSource: func() int64 { return 1000 },
+			SeedSource: func() (int64, error) { return 1000, nil },
 		},
 		Options{
 			Schedule:   sched.New(schedGenesis, interval).WithClock(clockB.Now),
 			RekeyEvery: every,
-			SeedSource: func() int64 { return 2000 },
+			SeedSource: func() (int64, error) { return 2000, nil },
 		},
 	)
 	if err != nil {
@@ -776,7 +777,7 @@ func TestVolumeRekey(t *testing.T) {
 		t.Fatal(err)
 	}
 	var n int64
-	seedSource := func() int64 { n++; return 0x7EED + n }
+	seedSource := func() (int64, error) { n++; return 0x7EED + n, nil }
 	o := Options{RekeyAfterBytes: 64, SeedSource: seedSource}
 	a, b, err := PairOpts(rotA, rotB, o, o)
 	if err != nil {
@@ -800,6 +801,62 @@ func TestVolumeRekey(t *testing.T) {
 	exchange(t, b, a, build, r)
 	if a.Epoch() == 0 && b.Epoch() == 0 {
 		t.Fatal("rekey completed but neither peer crossed the boundary epoch")
+	}
+}
+
+// brokenEntropy simulates an unreadable system entropy source.
+type brokenEntropy struct{}
+
+func (brokenEntropy) Read([]byte) (int, error) {
+	return 0, errors.New("entropy source down")
+}
+
+// TestRekeySeedFailsClosed: with the system entropy source down, the
+// default SeedSource must surface an error from the operation that
+// triggered the rekey — never fall back to predictable material like a
+// timestamp — and the session must keep its current family.
+func TestRekeySeedFailsClosed(t *testing.T) {
+	saved := entropy
+	entropy = brokenEntropy{}
+	defer func() { entropy = saved }()
+
+	if _, err := randomSeed(); err == nil || !strings.Contains(err.Error(), "entropy") {
+		t.Fatalf("randomSeed err = %v, want entropy failure", err)
+	}
+
+	opts := core.ObfuscationOptions{PerNode: 1, Seed: 77}
+	rotA, err := core.NewRotation(beaconSpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotB, err := core.NewRotation(beaconSpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A rekeys after every framed byte and uses the default (crypto/rand)
+	// seed source; B has no trigger so its Recv stays clean.
+	a, b, err := PairOpts(rotA, rotB, Options{RekeyAfterBytes: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	m, err := a.NewMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := specCases[0].build(m.Scope(), r); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(m); err == nil || !strings.Contains(err.Error(), "entropy") {
+		t.Fatalf("Send err = %v, want entropy failure", err)
+	}
+	if got := rotA.Stats().Rekeys; got != 0 {
+		t.Errorf("rekeys applied despite entropy failure: %d", got)
+	}
+	// The payload itself was framed before the trigger fired; the peer
+	// still decodes it, so fail-closed loses no delivered data.
+	if _, err := b.Recv(); err != nil {
+		t.Fatalf("peer recv after failed trigger: %v", err)
 	}
 }
 

@@ -234,7 +234,7 @@ func TestResumeRacingCrossedRekey(t *testing.T) {
 	ca, cb := newPipe()
 	bopts := base
 	bopts.RekeyEvery = 1
-	bopts.SeedSource = func() int64 { return 0x9999 }
+	bopts.SeedSource = func() (int64, error) { return 0x9999, nil }
 	bopts.ResumeStats = &stats
 	b2, err := NewConnOpts(cb, rotB.View(), bopts)
 	if err != nil {
@@ -462,7 +462,7 @@ func TestResumeStaticUnsupported(t *testing.T) {
 func TestResumeVolumeTriggerContinuity(t *testing.T) {
 	rotA, rotB := newTestRotations(t, 71)
 	const limit = 4096
-	seedSrc := func() int64 { return 0x4444 }
+	seedSrc := func() (int64, error) { return 0x4444, nil }
 	aopts := Options{RekeyAfterBytes: limit, SeedSource: seedSrc}
 	a, b := resumePair(t, rotA, rotB, aopts, Options{})
 	r := rng.New(23)

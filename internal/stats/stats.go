@@ -5,10 +5,18 @@
 package stats
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 )
+
+// ErrDegenerate is returned by Fit when the x values carry no spread (a
+// single-level campaign where every run applies the same transformation
+// count, for example): no line can be fitted, but the condition is a
+// property of the data rather than a failure, so callers that can render
+// the raw scatter without the fit check for it with errors.Is.
+var ErrDegenerate = errors.New("stats: degenerate x values")
 
 // Agg accumulates samples and reports average, minimum and maximum.
 type Agg struct {
@@ -84,7 +92,7 @@ func Fit(x, y []float64) (LinReg, error) {
 	}
 	dx := n*sxx - sx*sx
 	if dx == 0 {
-		return LinReg{}, fmt.Errorf("stats: degenerate x values")
+		return LinReg{}, ErrDegenerate
 	}
 	slope := (n*sxy - sx*sy) / dx
 	intercept := (sy - slope*sx) / n
@@ -137,6 +145,91 @@ func Mean(values []float64) float64 {
 		s += v
 	}
 	return s / float64(len(values))
+}
+
+// KS returns the two-sample Kolmogorov–Smirnov statistic: the largest
+// absolute gap between the empirical CDFs of a and b, in [0, 1]. 0 means
+// the samples draw from indistinguishable distributions, 1 means they
+// never overlap. Either sample empty yields 0 (nothing to compare).
+func KS(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var i, j int
+	var d float64
+	for i < len(sa) && j < len(sb) {
+		// Advance whichever CDF steps next; on ties advance both so the
+		// gap is measured between steps, never mid-step.
+		switch {
+		case sa[i] < sb[j]:
+			i++
+		case sb[j] < sa[i]:
+			j++
+		default:
+			v := sa[i]
+			for i < len(sa) && sa[i] == v {
+				i++
+			}
+			for j < len(sb) && sb[j] == v {
+				j++
+			}
+		}
+		gap := math.Abs(float64(i)/float64(len(sa)) - float64(j)/float64(len(sb)))
+		if gap > d {
+			d = gap
+		}
+	}
+	return d
+}
+
+// ChiSquared returns Pearson's χ² statistic between observed and
+// expected bin counts, skipping empty expected bins (an observation in a
+// bin the model deems impossible contributes the observation itself, the
+// conventional correction that keeps the statistic finite). The two
+// slices must align bin-for-bin.
+func ChiSquared(obs, expected []float64) float64 {
+	n := len(obs)
+	if len(expected) < n {
+		n = len(expected)
+	}
+	var x2 float64
+	for i := 0; i < n; i++ {
+		if expected[i] <= 0 {
+			x2 += obs[i]
+			continue
+		}
+		d := obs[i] - expected[i]
+		x2 += d * d / expected[i]
+	}
+	return x2
+}
+
+// Entropy returns the Shannon entropy, in bits, of the discrete
+// distribution given by non-negative counts (or weights); zero counts
+// contribute nothing. An empty or all-zero histogram has entropy 0.
+func Entropy(counts []float64) float64 {
+	var total float64
+	for _, c := range counts {
+		if c > 0 {
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		p := c / total
+		h -= p * math.Log2(p)
+	}
+	return h
 }
 
 // StdDev returns the population standard deviation.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -72,6 +73,22 @@ func TestFitErrors(t *testing.T) {
 	}
 }
 
+// TestFitDegenerateSentinel pins the contract callers rely on to render
+// a fit-less scatter: constant x values surface ErrDegenerate, and only
+// constant x values do.
+func TestFitDegenerateSentinel(t *testing.T) {
+	_, err := Fit([]float64{3, 3, 3, 3}, []float64{1, 2, 3, 4})
+	if !errors.Is(err, ErrDegenerate) {
+		t.Errorf("constant x: err = %v, want ErrDegenerate", err)
+	}
+	if _, err := Fit([]float64{1}, []float64{1}); errors.Is(err, ErrDegenerate) {
+		t.Error("too-few-points error must not be ErrDegenerate")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1}); errors.Is(err, ErrDegenerate) {
+		t.Error("length-mismatch error must not be ErrDegenerate")
+	}
+}
+
 // TestFitRecoversLine is a property test: fitting y = a*x + b on noise-free
 // data recovers a and b for arbitrary parameters.
 func TestFitRecoversLine(t *testing.T) {
@@ -110,6 +127,59 @@ func TestPercentile(t *testing.T) {
 	// Input must not be mutated.
 	if vals[0] != 5 {
 		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestKS(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5}
+	if got := KS(same, same); got != 0 {
+		t.Errorf("identical samples: KS = %v, want 0", got)
+	}
+	// Disjoint supports: the CDFs are a full step apart.
+	if got := KS([]float64{1, 2, 3}, []float64{10, 11, 12}); got != 1 {
+		t.Errorf("disjoint samples: KS = %v, want 1", got)
+	}
+	// Half-overlapping: {0,0,1,1} vs {1,1,2,2} — at v=0 the gap is 0.5.
+	if got := KS([]float64{0, 0, 1, 1}, []float64{1, 1, 2, 2}); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("half overlap: KS = %v, want 0.5", got)
+	}
+	if KS(nil, same) != 0 || KS(same, nil) != 0 {
+		t.Error("empty samples should compare as indistinguishable")
+	}
+	// Inputs must not be mutated (KS sorts copies).
+	in := []float64{3, 1, 2}
+	KS(in, []float64{5, 4})
+	if in[0] != 3 {
+		t.Error("KS mutated its input")
+	}
+}
+
+func TestChiSquared(t *testing.T) {
+	if got := ChiSquared([]float64{10, 20, 30}, []float64{10, 20, 30}); got != 0 {
+		t.Errorf("matching histograms: χ² = %v, want 0", got)
+	}
+	// One bin off by 10 against expected 10: contributes 100/10 = 10.
+	if got := ChiSquared([]float64{20, 20}, []float64{10, 20}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("χ² = %v, want 10", got)
+	}
+	// Observation in a zero-expected bin contributes the observation.
+	if got := ChiSquared([]float64{5}, []float64{0}); got != 5 {
+		t.Errorf("zero-expected bin: χ² = %v, want 5", got)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy([]float64{8, 8}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("uniform 2 bins: H = %v, want 1", got)
+	}
+	if got := Entropy([]float64{1, 1, 1, 1}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("uniform 4 bins: H = %v, want 2", got)
+	}
+	if got := Entropy([]float64{42}); got != 0 {
+		t.Errorf("single bin: H = %v, want 0", got)
+	}
+	if Entropy(nil) != 0 || Entropy([]float64{0, 0}) != 0 {
+		t.Error("empty histogram should have zero entropy")
 	}
 }
 
