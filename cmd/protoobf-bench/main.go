@@ -80,6 +80,7 @@ func run(ctx context.Context, args []string) error {
 	calibrate := fs.Float64("calibrate", 0, "search the per-node level whose residual PRE score falls below this target (e.g. 0.2)")
 	ablation := fs.Bool("ablation", false, "run the per-transformation ablation study")
 	adversaryWL := fs.Bool("adversary", false, "run the standing adversary evaluation and emit BENCH_<runid>.json")
+	shapeWL := fs.Bool("shape", false, "with -adversary: also run the shaped evaluation and fail if a gated shaped distinguisher beats the stealth ceiling")
 	outDir := fs.String("out", ".", "directory the adversary run writes its BENCH_<runid>.json into")
 	runID := fs.String("runid", "", "run id naming the BENCH JSON file (default: UTC timestamp)")
 	sessionWL := fs.Bool("session", false, "run the scheduled-rotation session workload")
@@ -104,6 +105,7 @@ func run(ctx context.Context, args []string) error {
 			RunID:   *runID,
 			Seed:    *seed,
 			PerNode: 2,
+			Shape:   *shapeWL,
 		})
 		if err != nil {
 			return err
@@ -116,6 +118,14 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("wrote %s\n", path)
 		if rep.Mutation.Crashes > 0 {
 			return fmt.Errorf("mutation campaign crashed %d times (see %s)", rep.Mutation.Crashes, path)
+		}
+		if rep.Shaping != nil {
+			if bad := rep.Shaping.GateFailures(); len(bad) > 0 {
+				for _, d := range bad {
+					fmt.Fprintf(os.Stderr, "shaped %s accuracy %.3f exceeds the %.2f stealth gate\n", d.Name, d.Accuracy, bench.ShapeGate)
+				}
+				return fmt.Errorf("traffic shaping failed the stealth gate (see %s)", path)
+			}
 		}
 		return nil
 	}

@@ -43,6 +43,11 @@ type Endpoint struct {
 	// session this endpoint mints: tickets exported, resumes accepted,
 	// rejections by reason.
 	resumeStats metrics.ResumeCounters
+
+	// shapeStats aggregates the traffic-shaping activity of every
+	// session this endpoint mints: frames morphed, pad and delay
+	// overhead, cover frames sent and discarded, receive-side rejects.
+	shapeStats metrics.ShapeCounters
 }
 
 // settings carries the control-plane configuration shared by endpoint
@@ -59,6 +64,9 @@ type settings struct {
 	versionShards   int
 	prefetch        int
 	prefetchSleep   func(ctx context.Context, d time.Duration) bool
+	shape           *ShapeProfile
+	shapeClock      func() time.Time
+	shapeSleep      func(time.Duration)
 }
 
 // Option is a functional option accepted by both NewEndpoint and
@@ -243,6 +251,13 @@ func (ep *Endpoint) sessionOpts(cfg settings) session.Options {
 		sopts.ResumeWindow = *cfg.resumeWindow
 	}
 	sopts.ResumeStats = &ep.resumeStats
+	if cfg.shape != nil {
+		p := *cfg.shape // each session owns its copy; profiles are small
+		sopts.Shape = &p
+	}
+	sopts.ShapeClock = cfg.shapeClock
+	sopts.ShapeSleep = cfg.shapeSleep
+	sopts.ShapeStats = &ep.shapeStats
 	return sopts
 }
 

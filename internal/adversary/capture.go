@@ -149,6 +149,12 @@ type CaptureConfig struct {
 	// constant 1ms). The distinguishers only ever see these synthetic
 	// timestamps, which keeps the timing test deterministic.
 	Gap func(i int) time.Duration
+	// Shape, when non-nil, shapes both peers with the profile — length
+	// morphing, MTU splitting and departure pacing, all on the capture
+	// clock (the shaper's sleeps advance it), so shaped captures stay
+	// exactly as deterministic as unshaped ones. This is the
+	// countermeasure the distinguisher gate evaluates.
+	Shape *protoobf.ShapeProfile
 }
 
 // Capture runs a live Endpoint session pair over an in-memory duplex,
@@ -169,20 +175,31 @@ func Capture(cfg CaptureConfig) (*Trace, error) {
 	genesis := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 	clock := sched.NewFakeClock(genesis)
 	schedule := sched.New(genesis, time.Minute).WithClock(clock.Now)
-	opts := protoobf.Options{PerNode: cfg.PerNode, Seed: cfg.Seed}
-	epCli, err := protoobf.NewEndpoint(Spec, opts, protoobf.WithSchedule(schedule))
-	if err != nil {
-		return nil, err
-	}
-	epSrv, err := protoobf.NewEndpoint(Spec, opts, protoobf.WithSchedule(schedule))
-	if err != nil {
-		return nil, err
-	}
 
-	// The adversary's clock: advanced by Gap before every send, read by
-	// the tap when a frame completes.
+	// The adversary's clock: advanced by Gap before every send — and by
+	// the shaper's pacing sleeps, when shaping is on — read by the tap
+	// when a frame completes.
 	now := genesis
 	tap := NewTap(func() time.Time { return now })
+
+	epOpts := []protoobf.EndpointOption{protoobf.WithSchedule(schedule)}
+	if cfg.Shape != nil {
+		epOpts = append(epOpts,
+			protoobf.WithShaping(*cfg.Shape),
+			protoobf.WithShapeClock(
+				func() time.Time { return now },
+				func(d time.Duration) { now = now.Add(d) },
+			))
+	}
+	opts := protoobf.Options{PerNode: cfg.PerNode, Seed: cfg.Seed}
+	epCli, err := protoobf.NewEndpoint(Spec, opts, epOpts...)
+	if err != nil {
+		return nil, err
+	}
+	epSrv, err := protoobf.NewEndpoint(Spec, opts, epOpts...)
+	if err != nil {
+		return nil, err
+	}
 
 	ca, cb := protoobf.Pipe()
 	cli, err := epCli.Session(tapped{ReadWriter: ca, tap: tap})

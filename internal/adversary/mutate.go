@@ -15,7 +15,7 @@ import (
 )
 
 // Strategies names the wire mutation strategies, in campaign order.
-var Strategies = []string{"bitflip", "lenlie", "truncate", "kindbyte", "splice", "reorder"}
+var Strategies = []string{"bitflip", "lenlie", "truncate", "kindbyte", "splice", "reorder", "coverflood"}
 
 // MutationConfig parameterizes the active-adversary campaign.
 type MutationConfig struct {
@@ -178,6 +178,23 @@ func Mutate(frames [][]byte, strategy string, r *rng.R) []byte {
 		garbage := r.Bytes(1 + r.Intn(24))
 		rest := append([][]byte{garbage}, cp[at:]...)
 		cp = append(cp[:at:at], rest...)
+	case "coverflood":
+		// A burst of well-formed cover frames at a frame boundary: every
+		// receiver must silently discard each one and keep decoding the
+		// real stream — the cover contract under active injection.
+		at := r.Intn(len(cp) + 1)
+		var burst [][]byte
+		for i, n := 0, 1+r.Intn(6); i < n; i++ {
+			payload := r.Bytes(r.Intn(64))
+			cover := make([]byte, frame.EpochHeaderLen+len(payload))
+			if err := frame.EncodeHeader(cover[:frame.EpochHeaderLen], frame.KindCover, 0, len(payload)); err != nil {
+				panic(err) // 0..63-byte payloads always encode
+			}
+			copy(cover[frame.EpochHeaderLen:], payload)
+			burst = append(burst, cover)
+		}
+		rest := append(burst, cp[at:]...)
+		cp = append(cp[:at:at], rest...)
 	}
 	stream := bytes.Join(cp, nil)
 	if strategy == "truncate" {
@@ -227,6 +244,8 @@ func rejectReason(err error) string {
 		return "frame-header"
 	case strings.Contains(msg, "ahead of current"):
 		return "epoch-bound"
+	case strings.Contains(msg, "unknown frame kind"):
+		return "unknown-kind"
 	case strings.Contains(msg, "control"), strings.Contains(msg, "rekey"), strings.Contains(msg, "resume"):
 		return "control"
 	case strings.Contains(msg, "session: epoch"):

@@ -1,0 +1,138 @@
+package adversary
+
+import (
+	"testing"
+	"time"
+
+	"protoobf"
+	"protoobf/internal/core"
+	"protoobf/internal/rng"
+)
+
+// gateProfile is the shaping profile the distinguisher gate runs under.
+// Its length bins sit well above every advprobe payload (so each frame
+// length is a pure profile sample, never a clamp) and its gap support
+// sits above the application's burstiest send cadence (so each observed
+// gap is a pure pacing sample) — the regime where shaped traffic from
+// two different dialect levels becomes statistically interchangeable.
+func gateProfile() protoobf.ShapeProfile {
+	return protoobf.ShapeProfile{
+		Name:   "gate",
+		Bins:   []protoobf.ShapeBin{{Lo: 300, Hi: 500, Weight: 1}, {Lo: 700, Hi: 900, Weight: 1}},
+		MTU:    1000,
+		MinGap: 25 * time.Millisecond,
+		MaxGap: 35 * time.Millisecond,
+	}
+}
+
+// burstyGap is the distinct timing profile of the obfuscated workload:
+// a 20ms stall every fourth message against the plaintext's steady 1ms.
+func burstyGap(i int) time.Duration {
+	if i%4 == 0 {
+		return 20 * time.Millisecond
+	}
+	return time.Millisecond
+}
+
+// captureShaped is capture with traffic shaping on.
+func captureShaped(t *testing.T, perNode int, trafficSeed int64, gap func(int) time.Duration, p protoobf.ShapeProfile) *Trace {
+	t.Helper()
+	tr, err := Capture(CaptureConfig{PerNode: perNode, Seed: 11, TrafficSeed: trafficSeed, Gap: gap, Shape: &p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestShapingDefeatsDistinguishers is the tentpole gate, in both
+// directions. Positive control: unshaped, the panel separates plaintext
+// from obfuscated traffic with >= 0.9 held-out accuracy on lengths AND
+// timing (the workloads carry distinct gap profiles). Countermeasure:
+// with the same workloads shaped under one profile, every length and
+// timing distinguisher collapses to <= 0.6 — the shaped streams sample
+// their lengths and departures from the same seeded distributions, so
+// there is nothing left to classify.
+func TestShapingDefeatsDistinguishers(t *testing.T) {
+	plain := capture(t, 0, 1, nil)
+	obf := capture(t, 2, 1, burstyGap)
+	unshaped := byName(Evaluate(plain, obf, 16))
+	for _, name := range []string{"length-ks", "length-chi2", "timing-ks"} {
+		if a := unshaped[name]; a.Accuracy < 0.9 {
+			t.Errorf("positive control: unshaped %s accuracy = %.3f, want >= 0.9", name, a.Accuracy)
+		}
+	}
+
+	shapedPlain := captureShaped(t, 0, 1, nil, gateProfile())
+	shapedObf := captureShaped(t, 2, 1, burstyGap, gateProfile())
+	shaped := byName(Evaluate(shapedPlain, shapedObf, 16))
+	for _, name := range []string{"length-ks", "length-chi2", "timing-ks"} {
+		if a := shaped[name]; a.Accuracy > 0.6 {
+			t.Errorf("shaped %s accuracy = %.3f, want <= 0.6", name, a.Accuracy)
+		}
+	}
+}
+
+// TestShapedCaptureWellFormed sanity-checks the shaped capture itself:
+// every tapped frame is a data frame whose length lies inside the gate
+// profile's support, and consecutive departures honor the pacing bounds.
+func TestShapedCaptureWellFormed(t *testing.T) {
+	p := gateProfile()
+	tr := captureShaped(t, 2, 1, nil, p)
+	if len(tr.Frames) == 0 {
+		t.Fatal("shaped capture saw no frames")
+	}
+	inBin := func(n int) bool {
+		for _, b := range p.Bins {
+			if n >= b.Lo && n <= b.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	for i, f := range tr.Frames {
+		if f.Kind != 0 {
+			t.Fatalf("frame %d: kind %#02x in a cover-free capture", i, f.Kind)
+		}
+		// Derive may shift bins by up to a quarter span; widen by that
+		// much rather than re-deriving per epoch here.
+		if n := len(f.Payload); !inBin(n) && !inBin(n+50) && !inBin(n-50) {
+			t.Errorf("frame %d: shaped length %d outside the (derived) profile support", i, n)
+		}
+		if i > 0 {
+			gap := f.At.Sub(tr.Frames[i-1].At)
+			if gap < p.MinGap {
+				t.Errorf("frame %d: departure gap %v below the profile floor %v", i, gap, p.MinGap)
+			}
+		}
+	}
+}
+
+// TestCoverfloodInjection: an active adversary splicing bursts of
+// well-formed cover frames into a pristine stream changes nothing — the
+// receiver discards every cover and decodes the entire real stream.
+func TestCoverfloodInjection(t *testing.T) {
+	opts := core.ObfuscationOptions{PerNode: 2, Seed: 7}
+	rotTx, err := core.NewRotation(Spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotRx, err := core.NewRotation(Spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := baselineFrames(rotTx, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for c := 0; c < 32; c++ {
+		stream := Mutate(frames, "coverflood", r)
+		outcome, reason := feed(rotRx, stream, len(frames))
+		if outcome == outcomeCrash {
+			t.Fatalf("case %d: cover burst crashed the receiver: %s", c, reason)
+		}
+		if outcome != outcomeDecoded {
+			t.Fatalf("case %d: cover burst broke the real stream (%s) — covers must be discarded, not rejected", c, reason)
+		}
+	}
+}

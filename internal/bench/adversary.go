@@ -48,6 +48,53 @@ type AdversaryConfig struct {
 	// PerfIters scales the perf loops (default 2000 roundtrips); unit
 	// tests shrink it.
 	PerfIters int
+	// Shape additionally runs the shaped evaluation: both captures are
+	// re-taken under the default traffic-shaping profile and the
+	// distinguisher panel re-run on them, reporting the shaped
+	// accuracies plus the byte and latency overhead shaping costs.
+	Shape bool
+}
+
+// ShapeGate is the ceiling a shaped length or timing distinguisher may
+// reach before the CI bench-smoke run fails: shaping that leaves a
+// gated distinguisher above 0.6 held-out accuracy is not working.
+const ShapeGate = 0.6
+
+// ShapeGatedNames lists the distinguishers the ShapeGate applies to —
+// the signals shaping exists to erase. Byte-level distinguishers are
+// deliberately absent: content indistinguishability is the dialect
+// layer's job, not the shaper's.
+var ShapeGatedNames = []string{"length-ks", "length-chi2", "timing-ks"}
+
+// ShapingReport is the shaped half of the trajectory: the same
+// distinguisher panel over captures taken under a shaping profile, and
+// what that stealth costs.
+type ShapingReport struct {
+	// Profile names the shaping profile the captures ran under.
+	Profile string `json:"profile"`
+	// Shaped is the distinguisher panel over the shaped captures; the
+	// unshaped panel lives in BenchReport.Distinguishers.
+	Shaped []adversary.Accuracy `json:"shaped_distinguishers"`
+	// PadOverhead is the relative wire-byte cost of shaping: shaped
+	// obfuscated bytes over unshaped obfuscated bytes, minus one.
+	PadOverhead float64 `json:"pad_overhead"`
+	// DelayMsPerMsg is the added departure latency per message, in
+	// milliseconds, from pacing the shaped capture.
+	DelayMsPerMsg float64 `json:"delay_ms_per_msg"`
+}
+
+// GateFailures returns the gated distinguishers whose shaped accuracy
+// exceeds ShapeGate — empty when the shaping countermeasure holds.
+func (s *ShapingReport) GateFailures() []adversary.Accuracy {
+	var bad []adversary.Accuracy
+	for _, a := range s.Shaped {
+		for _, name := range ShapeGatedNames {
+			if a.Name == name && a.Accuracy > ShapeGate {
+				bad = append(bad, a)
+			}
+		}
+	}
+	return bad
 }
 
 // PerfReport is the performance half of the trajectory: numbers that
@@ -88,6 +135,7 @@ type BenchReport struct {
 	Mutation       adversary.MutationResult   `json:"mutation"`
 	Covert         []adversary.CovertEstimate `json:"covert"`
 	Perf           PerfReport                 `json:"perf"`
+	Shaping        *ShapingReport             `json:"shaping,omitempty"`
 }
 
 // RunAdversary executes the full standing-adversary evaluation.
@@ -131,6 +179,33 @@ func RunAdversary(ctx context.Context, cfg AdversaryConfig) (*BenchReport, error
 		return nil, err
 	}
 
+	var shaping *ShapingReport
+	if cfg.Shape {
+		prof := protoobf.DefaultShapeProfile()
+		shapedPlain, err := adversary.Capture(adversary.CaptureConfig{
+			PerNode: 0, Seed: cfg.Seed, TrafficSeed: cfg.Seed + 1, Msgs: cfg.Msgs, Shape: &prof,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: shaped plaintext capture: %w", err)
+		}
+		shapedObf, err := adversary.Capture(adversary.CaptureConfig{
+			PerNode: cfg.PerNode, Seed: cfg.Seed, TrafficSeed: cfg.Seed + 1, Msgs: cfg.Msgs, Shape: &prof,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: shaped obfuscated capture: %w", err)
+		}
+		shaping = &ShapingReport{
+			Profile:       prof.Name,
+			Shaped:        adversary.Evaluate(shapedPlain, shapedObf, cfg.Window),
+			PadOverhead:   float64(len(shapedObf.Raw))/float64(len(obf.Raw)) - 1,
+			DelayMsPerMsg: traceSpan(shapedObf).Seconds() * 1e3 / float64(cfg.Msgs),
+		}
+		shaping.DelayMsPerMsg -= traceSpan(obf).Seconds() * 1e3 / float64(cfg.Msgs)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+
 	mut, err := adversary.RunMutations(adversary.MutationConfig{
 		PerNode: cfg.PerNode, Seed: cfg.Seed, Cases: cfg.MutationCases,
 	})
@@ -166,7 +241,17 @@ func RunAdversary(ctx context.Context, cfg AdversaryConfig) (*BenchReport, error
 		Mutation:       *mut,
 		Covert:         covert,
 		Perf:           *perf,
+		Shaping:        shaping,
 	}, nil
+}
+
+// traceSpan is the capture-clock duration from the first to the last
+// tapped frame.
+func traceSpan(tr *adversary.Trace) time.Duration {
+	if len(tr.Frames) < 2 {
+		return 0
+	}
+	return tr.Frames[len(tr.Frames)-1].At.Sub(tr.Frames[0].At)
 }
 
 // advPingSpec is the reference-free message of the steady-state loops
@@ -383,6 +468,19 @@ func (r *BenchReport) Validate() error {
 			return fmt.Errorf("bench: covert bits out of range: %+v", c)
 		}
 	}
+	if r.Shaping != nil {
+		if r.Shaping.Profile == "" || len(r.Shaping.Shaped) == 0 {
+			return fmt.Errorf("bench: shaping report incomplete: %+v", r.Shaping)
+		}
+		for _, d := range r.Shaping.Shaped {
+			if d.Name == "" || d.Accuracy < 0 || d.Accuracy > 1 || d.Windows <= 0 {
+				return fmt.Errorf("bench: malformed shaped distinguisher result %+v", d)
+			}
+		}
+		if r.Shaping.PadOverhead < 0 {
+			return fmt.Errorf("bench: shaping pad overhead %.3f negative — shaped captures cannot shrink the wire", r.Shaping.PadOverhead)
+		}
+	}
 	if r.Perf.SteadyNsPerOp <= 0 || r.Perf.RoundtripNsPerOp <= 0 ||
 		r.Perf.ColdVersionNsPerOp <= 0 || r.Perf.WarmVersionNsPerOp <= 0 ||
 		r.Perf.EndpointMsgsPerSec <= 0 {
@@ -418,6 +516,15 @@ func (r *BenchReport) Table() string {
 	for _, d := range r.Distinguishers {
 		fmt.Fprintf(&sb, "  %-14s %.3f (plain recall %.2f, obf recall %.2f, %d windows)\n",
 			d.Name, d.Accuracy, d.PlainRecall, d.ObfRecall, d.Windows)
+	}
+	if r.Shaping != nil {
+		fmt.Fprintf(&sb, "shaped (profile %q; gate: length/timing <= %.2f):\n", r.Shaping.Profile, ShapeGate)
+		for _, d := range r.Shaping.Shaped {
+			fmt.Fprintf(&sb, "  %-14s %.3f (plain recall %.2f, obf recall %.2f, %d windows)\n",
+				d.Name, d.Accuracy, d.PlainRecall, d.ObfRecall, d.Windows)
+		}
+		fmt.Fprintf(&sb, "  overhead: %.1f%% wire bytes, %.2f ms/msg added delay\n",
+			r.Shaping.PadOverhead*100, r.Shaping.DelayMsPerMsg)
 	}
 	fmt.Fprintf(&sb, "mutation campaign: %d cases, %d crashes, %d decoded, %d rejected\n",
 		r.Mutation.Total, r.Mutation.Crashes, r.Mutation.Decoded, r.Mutation.Rejected())

@@ -96,6 +96,78 @@ func TestBenchReportWriteJSON(t *testing.T) {
 	}
 }
 
+// TestRunAdversaryShaped exercises the shaped half of the report: the
+// bench-smoke CI gate in miniature. The shaped captures must drive every
+// gated distinguisher to (at most) the stealth ceiling while the
+// unshaped panel stays sharp, and the overhead numbers must be real.
+func TestRunAdversaryShaped(t *testing.T) {
+	cfg := smallAdversary()
+	cfg.Shape = true
+	rep, err := RunAdversary(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if rep.Shaping == nil {
+		t.Fatal("Shape: true produced no shaping report")
+	}
+	if rep.Shaping.Profile == "" {
+		t.Error("shaping profile name empty")
+	}
+	if bad := rep.Shaping.GateFailures(); len(bad) > 0 {
+		t.Errorf("stealth gate failures: %+v", bad)
+	}
+	shaped := map[string]float64{}
+	for _, d := range rep.Shaping.Shaped {
+		shaped[d.Name] = d.Accuracy
+	}
+	for _, name := range ShapeGatedNames {
+		a, ok := shaped[name]
+		if !ok {
+			t.Errorf("gated distinguisher %q missing from shaped panel", name)
+			continue
+		}
+		if a > ShapeGate {
+			t.Errorf("shaped %s accuracy = %.3f, want <= %.2f", name, a, ShapeGate)
+		}
+	}
+	if rep.Shaping.PadOverhead <= 0 {
+		t.Errorf("pad overhead = %.3f, want > 0 (padding is not free)", rep.Shaping.PadOverhead)
+	}
+	if rep.Shaping.DelayMsPerMsg < 0 {
+		t.Errorf("delay overhead = %.3f ms/msg negative — pacing cannot speed traffic up", rep.Shaping.DelayMsPerMsg)
+	}
+	table := rep.Table()
+	for _, want := range []string{"shaped (profile", "overhead:", "gate: length/timing"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table lacks %q:\n%s", want, table)
+		}
+	}
+
+	// The shaping block must survive a JSON round trip.
+	dir := t.TempDir()
+	path, err := rep.WriteJSON(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Shaping == nil || len(back.Shaping.Shaped) != len(rep.Shaping.Shaped) {
+		t.Errorf("shaping block lost in serialization: %+v", back.Shaping)
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("re-read shaped report invalid: %v", err)
+	}
+}
+
 func TestBenchReportValidateRejects(t *testing.T) {
 	rep, err := RunAdversary(context.Background(), smallAdversary())
 	if err != nil {
@@ -114,6 +186,14 @@ func TestBenchReportValidateRejects(t *testing.T) {
 		{"mutation-tally", func(r *BenchReport) { r.Mutation.Decoded += 3 }},
 		{"covert-range", func(r *BenchReport) { r.Covert[0].Bits = r.Covert[0].MaxBits + 1 }},
 		{"perf-missing", func(r *BenchReport) { r.Perf.RoundtripNsPerOp = 0 }},
+		{"shaping-empty", func(r *BenchReport) { r.Shaping = &ShapingReport{Profile: "x"} }},
+		{"shaping-accuracy", func(r *BenchReport) {
+			r.Shaping = &ShapingReport{Profile: "x", Shaped: []adversary.Accuracy{{Name: "length-ks", Accuracy: 2, Windows: 4}}}
+		}},
+		{"shaping-negative-pad", func(r *BenchReport) {
+			r.Shaping = &ShapingReport{Profile: "x", PadOverhead: -0.5,
+				Shaped: []adversary.Accuracy{{Name: "length-ks", Accuracy: 0.5, Windows: 4}}}
+		}},
 	}
 	for _, c := range cases {
 		bad := *rep

@@ -622,6 +622,22 @@ func (v *View) ControlPad(epoch uint64, n int) []byte {
 	return pad[:n]
 }
 
+// ShapeSeed derives the traffic-shaping seed of an epoch from the seed
+// family active at it — the session layer's ShapeSeeder interface. The
+// derivation is domain-separated from the dialect derivation (a
+// different constant folded into the master before the finalizer), so
+// an observer who somehow learned the shape stream would still know
+// nothing about the transformation selections, and vice versa. Because
+// it follows the family, the shape rotates at every epoch boundary and
+// jumps with every rekey, exactly like the dialect does.
+func (v *View) ShapeSeed(epoch uint64) int64 {
+	v.mu.Lock()
+	family := v.familySeedLocked(epoch)
+	v.mu.Unlock()
+	const shapeDomain = 0x73686164 // "shad"
+	return deriveSeed(family^shapeDomain, epoch)
+}
+
 // familySeedLocked returns the master seed active at epoch. Callers
 // hold v.mu.
 func (v *View) familySeedLocked(epoch uint64) int64 {

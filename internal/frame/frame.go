@@ -20,9 +20,10 @@
 // 4-byte length word is always zero for data frames. The session layer
 // claims that byte as the frame kind: kind 0 (KindData) is an ordinary
 // message frame — byte-identical to the pre-kind wire format — and
-// nonzero kinds are reserved control frames (the in-band rekey
-// handshake). A decoder that predates the kind byte rejects control
-// frames as oversized rather than misparsing them.
+// nonzero kinds are reserved control frames (the in-band rekey and
+// resume handshakes, cover traffic). A decoder that predates the kind
+// byte rejects control frames as oversized rather than misparsing them;
+// kinds above KindMax are unassigned and rejected by the session layer.
 //
 // The *Append variants and the package-level buffer pool let steady-state
 // readers avoid a per-message allocation: read into a pooled or reused
@@ -66,6 +67,17 @@ const (
 	// ticket. It is sent under the resumed session's dialect family, so
 	// receiving it proves the acceptor adopted the ticket's rekey lineage.
 	KindResumeAck = 0x04
+	// KindCover is a cover (decoy) frame: shaped sessions emit them from
+	// an idle-timer scheduler so quiet sessions still show plausible
+	// traffic (see internal/session/shape). The payload is chaff — every
+	// receiver, shaped or not, silently discards it, so a shaped peer can
+	// talk to an unmodified one without breaking it.
+	KindCover = 0x05
+	// KindMax is the highest assigned frame kind. Kinds above it are
+	// unassigned: the session layer rejects them with a counted reason
+	// rather than guessing, so a future kind cannot be silently eaten by
+	// old peers and a corrupted kind byte is surfaced, not resynced over.
+	KindMax = KindCover
 )
 
 // bufPool recycles payload buffers between reads and serializations. It

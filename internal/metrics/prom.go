@@ -70,6 +70,23 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	p.labeledStr("protoobf_resume_rejects_total", "reason", "expired", u.RejectedExpired)
 	p.labeledStr("protoobf_resume_rejects_total", "reason", "state", u.RejectedState)
 
+	h := s.Shape
+	p.counter("protoobf_shape_frames_total",
+		"Data frames morphed by the traffic shaper (fragments included).", h.ShapedFrames)
+	p.counter("protoobf_shape_fragments_total",
+		"Extra frames produced by MTU splitting.", h.Fragments)
+	p.counter("protoobf_shape_pad_bytes_total",
+		"Pad bytes appended to shaped frames.", h.PadBytes)
+	p.counter("protoobf_shape_delay_ns_total",
+		"Inter-frame jitter injected by the pacer, in nanoseconds.", h.DelayNanos)
+	p.counter("protoobf_shape_cover_sent_total",
+		"Cover (decoy) frames emitted.", h.CoverSent)
+	p.counter("protoobf_shape_cover_dropped_total",
+		"Cover frames received and silently discarded.", h.CoverDropped)
+	p.header("protoobf_shape_rejects_total", "Receive-side shaping rejects, by reason.", "counter")
+	p.labeledStr("protoobf_shape_rejects_total", "reason", "unshape", h.UnshapeRejects)
+	p.labeledStr("protoobf_shape_rejects_total", "reason", "unknown-kind", h.UnknownKindRejects)
+
 	return p.err
 }
 

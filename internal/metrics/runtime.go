@@ -221,6 +221,64 @@ func (s ResumeStats) Rejects() uint64 {
 	return s.RejectedForged + s.RejectedExpired + s.RejectedState
 }
 
+// ShapeCounters counts the traffic-shaping layer's activity on one
+// endpoint: frames morphed, pad volume, injected delay, cover traffic
+// in both directions, and the receive-side rejects the shaper and the
+// kind validator produce. The zero value is ready to use.
+type ShapeCounters struct {
+	// ShapedFrames counts data frames written through the shaper,
+	// fragments included.
+	ShapedFrames atomic.Uint64
+	// Fragments counts the extra frames MTU splitting produced beyond
+	// one per message.
+	Fragments atomic.Uint64
+	// PadBytes counts pad bytes appended to shaped frames (the shaping
+	// trailer itself not included).
+	PadBytes atomic.Uint64
+	// DelayNanos accumulates the inter-frame jitter the pacer injected,
+	// in nanoseconds.
+	DelayNanos atomic.Uint64
+	// CoverSent counts cover (decoy) frames this side emitted.
+	CoverSent atomic.Uint64
+	// CoverDropped counts cover frames received and silently discarded —
+	// every session counts these, shaped or not.
+	CoverDropped atomic.Uint64
+	// UnshapeRejects counts received data frames whose shaping trailer
+	// failed validation (short frame, reserved flags, bad overhead claim,
+	// fragment epoch mismatch, oversized reassembly).
+	UnshapeRejects atomic.Uint64
+	// UnknownKindRejects counts frames rejected for carrying an
+	// unassigned kind byte (above frame.KindMax).
+	UnknownKindRejects atomic.Uint64
+}
+
+// Snapshot copies the counters into a ShapeStats.
+func (c *ShapeCounters) Snapshot() ShapeStats {
+	return ShapeStats{
+		ShapedFrames:       c.ShapedFrames.Load(),
+		Fragments:          c.Fragments.Load(),
+		PadBytes:           c.PadBytes.Load(),
+		DelayNanos:         c.DelayNanos.Load(),
+		CoverSent:          c.CoverSent.Load(),
+		CoverDropped:       c.CoverDropped.Load(),
+		UnshapeRejects:     c.UnshapeRejects.Load(),
+		UnknownKindRejects: c.UnknownKindRejects.Load(),
+	}
+}
+
+// ShapeStats is one endpoint's traffic-shaping activity at snapshot
+// time.
+type ShapeStats struct {
+	ShapedFrames       uint64
+	Fragments          uint64
+	PadBytes           uint64
+	DelayNanos         uint64
+	CoverSent          uint64
+	CoverDropped       uint64
+	UnshapeRejects     uint64
+	UnknownKindRejects uint64
+}
+
 // Snapshot is the top-level observability snapshot of one endpoint:
 // its dialect family's compile/cache activity and its prefetch
 // daemon's work. Snapshots are plain values — diff two to measure an
@@ -229,6 +287,7 @@ type Snapshot struct {
 	Rotation RotationStats
 	Prefetch PrefetchStats
 	Resume   ResumeStats
+	Shape    ShapeStats
 }
 
 // String renders the snapshot as an indented block, the format the
@@ -247,5 +306,8 @@ func (s Snapshot) String() string {
 	u := s.Resume
 	fmt.Fprintf(&sb, "resume:   tickets=%d accepts=%d rejects=%d (forged=%d expired=%d state=%d)\n",
 		u.TicketsIssued, u.Accepts, u.Rejects(), u.RejectedForged, u.RejectedExpired, u.RejectedState)
+	h := s.Shape
+	fmt.Fprintf(&sb, "shape:    frames=%d frags=%d pad=%dB delay=%dms covers sent=%d dropped=%d rejects (unshape=%d kind=%d)\n",
+		h.ShapedFrames, h.Fragments, h.PadBytes, h.DelayNanos/1e6, h.CoverSent, h.CoverDropped, h.UnshapeRejects, h.UnknownKindRejects)
 	return sb.String()
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"protoobf/internal/frame"
 	"protoobf/internal/graph"
@@ -16,6 +17,7 @@ import (
 	"protoobf/internal/msgtree"
 	"protoobf/internal/rng"
 	"protoobf/internal/session/sched"
+	"protoobf/internal/session/shape"
 	"protoobf/internal/wire"
 )
 
@@ -130,6 +132,33 @@ type Options struct {
 	// keeps its current family rather than rekeying from predictable
 	// material. Tests inject a deterministic source.
 	SeedSource func() (int64, error)
+
+	// Shape, when non-nil, turns on traffic shaping: every data frame is
+	// padded to a profile-sampled length (and split at the profile MTU),
+	// departures are paced by sampled inter-frame gaps, and idle
+	// sessions emit cover frames. Shaping is symmetric — both peers must
+	// carry the same profile, exactly like the (spec, seed) contract —
+	// because pad bytes ride inside the framed payload and the receiver
+	// must strip them. Cover frames alone are compatible with unshaped
+	// peers: every session discards frame.KindCover. The profile must
+	// Validate or the constructor rejects it.
+	Shape *shape.Profile
+
+	// ShapeClock and ShapeSleep inject the shaper's time source and
+	// delay primitive. Nil means time.Now and time.Sleep. A non-nil
+	// ShapeClock marks the session as simulated: the idle cover
+	// scheduler goroutine is not started (the simulation pumps
+	// emitCoverIfIdle itself), which is how captures and tests shape
+	// traffic deterministically with zero real sleeping.
+	ShapeClock func() time.Time
+	ShapeSleep func(time.Duration)
+
+	// ShapeStats, when non-nil, receives the session's shaping activity
+	// (frames morphed, pad and delay overhead, covers sent/dropped,
+	// receive-side rejects) — the shaping analogue of ResumeStats. It is
+	// honored even without Shape: an unshaped session still counts
+	// covers it discards and unknown frame kinds it rejects.
+	ShapeStats *metrics.ShapeCounters
 }
 
 // Conn is an obfuscated message session over a byte stream: Send
@@ -187,6 +216,23 @@ type Conn struct {
 
 	pmu  sync.Mutex // serializes Recv's buffer reuse
 	rbuf []byte
+
+	// Traffic shaping (see shaping.go): shaper is non-nil iff
+	// Options.Shape was set; shapeStats is honored regardless. The
+	// reassembly state (guarded by pmu, like rbuf) folds MTU-split
+	// fragments back into one message: reasm accumulates chunks,
+	// reasmEpoch pins the epoch a fragment stream started at, and
+	// reasmWire counts the framed bytes buffered so far so the volume
+	// odometer moves once per message, not per fragment.
+	shaper     *shaper
+	shapeStats *metrics.ShapeCounters
+	reasm      []byte
+	reasmEpoch uint64
+	reasmWire  uint64
+
+	stopCover     chan struct{} // closed by stopCoverLoop; nil without a cover goroutine
+	coverDone     chan struct{} // closed when the cover goroutine has exited
+	stopCoverOnce sync.Once
 }
 
 // rekeyProposal is an in-flight rekey handshake: we proposed switching
@@ -218,6 +264,9 @@ func NewConn(rw io.ReadWriter, versions Versioner) (*Conn, error) {
 // current wall-clock epoch before returning, so its first frames already
 // speak the fleet-wide dialect.
 func NewConnOpts(rw io.ReadWriter, versions Versioner, opts Options) (*Conn, error) {
+	if err := validateShape(opts); err != nil {
+		return nil, err
+	}
 	c := newConn(rw, versions, opts)
 	if _, err := c.dialect(0); err != nil {
 		return nil, err
@@ -225,7 +274,28 @@ func NewConnOpts(rw io.ReadWriter, versions Versioner, opts Options) (*Conn, err
 	if err := c.syncSchedule(); err != nil {
 		return nil, err
 	}
+	// The cover scheduler starts only once the session is viable: a
+	// constructor that fails must not leave a goroutine writing decoys
+	// into the stream.
+	c.startCover(opts)
 	return c, nil
+}
+
+// validateShape rejects an unusable shaping profile at construction,
+// where the misconfiguration is actionable — not on the first Send. The
+// profile MTU must also fit the frame layer's length word.
+func validateShape(opts Options) error {
+	if opts.Shape == nil {
+		return nil
+	}
+	if err := opts.Shape.Validate(); err != nil {
+		return err
+	}
+	if opts.Shape.MTU > frame.MaxFrame {
+		return fmt.Errorf("session: shaping profile %q MTU %d exceeds the frame limit %d",
+			opts.Shape.Name, opts.Shape.MTU, frame.MaxFrame)
+	}
+	return nil
 }
 
 // newConn builds a session without bringing up any dialect or adopting
@@ -266,6 +336,10 @@ func newConn(rw io.ReadWriter, versions Versioner, opts Options) *Conn {
 		mrng:            rng.New(0x5e5510),
 		wbuf:            frame.GetBuffer(),
 		rbuf:            frame.GetBuffer(),
+		shapeStats:      opts.ShapeStats,
+	}
+	if opts.Shape != nil {
+		c.shaper = newShaper(opts, versions)
 	}
 	c.t.maxLead = lead
 	// The eviction hook keeps the reverse index in step with the window;
@@ -287,6 +361,7 @@ func (c *Conn) Transport() *Transport { return c.t }
 // closing the underlying connection, which remains the owner's job. The
 // session must not be used afterwards.
 func (c *Conn) Release() {
+	c.stopCoverLoop()
 	c.smu.Lock()
 	frame.PutBuffer(c.wbuf)
 	c.wbuf = nil
@@ -431,6 +506,12 @@ func (c *Conn) Send(m *msgtree.Message) error {
 		return err
 	}
 	c.wbuf = out
+	if c.shaper != nil {
+		if err := c.sendShaped(epoch, out); err != nil {
+			return err
+		}
+		return c.maybeVolumeRekey()
+	}
 	if err := c.t.sendPayloadAt(epoch, out); err != nil {
 		return err
 	}
@@ -476,6 +557,23 @@ func (c *Conn) Recv() (*msgtree.Message, error) {
 			return nil, fmt.Errorf("session: frame epoch %d is %d ahead of current %d (max lead %d)",
 				epoch, epoch-cur, cur, c.MaxEpochLead)
 		}
+		// Shaped sessions strip the pad trailer first; a fragment goes to
+		// the reassembly buffer and the loop keeps reading.
+		payload := buf
+		if c.shaper != nil {
+			p, done, err := c.unshape(epoch, buf)
+			if err != nil {
+				return nil, err
+			}
+			if !done {
+				continue
+			}
+			payload = p
+		}
+		// Count the whole message's framed bytes — the final frame plus
+		// any fragments buffered on the way — exactly once.
+		wireBytes := uint64(len(buf)) + frame.EpochHeaderLen + c.reasmWire
+		c.reasmWire = 0
 		g, err := c.dialect(epoch)
 		if err != nil {
 			return nil, err
@@ -483,9 +581,10 @@ func (c *Conn) Recv() (*msgtree.Message, error) {
 		c.mu.Lock()
 		r := c.mrng.Split()
 		c.mu.Unlock()
-		// The parser copies terminal content out of buf, so reusing rbuf
-		// for the next frame cannot corrupt the returned message.
-		m, err := wire.Parse(g, buf, r)
+		// The parser copies terminal content out of the payload, so
+		// reusing rbuf (or the reassembly buffer) for the next frame
+		// cannot corrupt the returned message.
+		m, err := wire.Parse(g, payload, r)
 		if err != nil {
 			return nil, fmt.Errorf("session: epoch %d: %w", epoch, err)
 		}
@@ -500,7 +599,7 @@ func (c *Conn) Recv() (*msgtree.Message, error) {
 		}
 		c.t.Advance(follow)
 		c.mu.Unlock()
-		c.bytesMoved.Add(uint64(len(buf)) + frame.EpochHeaderLen)
+		c.bytesMoved.Add(wireBytes)
 		if err := c.maybeVolumeRekey(); err != nil {
 			return nil, err
 		}
@@ -723,9 +822,26 @@ func (c *Conn) handleControl(kind byte, hdrEpoch uint64, payload []byte) error {
 		return c.handleResume(hdrEpoch, payload)
 	case frame.KindResumeAck:
 		return c.handleResumeAck(hdrEpoch, payload)
+	case frame.KindCover:
+		// Cover traffic is chaff by contract: count it and keep reading.
+		// Every session discards covers — shaped or not, resuming or not —
+		// which is what lets a shaped peer emit decoys at an unmodified
+		// one without breaking it.
+		if c.shapeStats != nil {
+			c.shapeStats.CoverDropped.Add(1)
+		}
+		return nil
 	case frame.KindRekeyPropose, frame.KindRekeyAck:
 	default:
-		return fmt.Errorf("session: unknown control frame kind %#02x", kind)
+		// Kinds above frame.KindMax are unassigned: reject them loudly
+		// (and countably) rather than guessing. Silently skipping unknown
+		// kinds would let a tampered stream smuggle arbitrary frames past
+		// the session, and misframed garbage would desynchronize later
+		// reads anyway.
+		if c.shapeStats != nil {
+			c.shapeStats.UnknownKindRejects.Add(1)
+		}
+		return fmt.Errorf("session: unknown frame kind %#02x (highest assigned is %#02x)", kind, frame.KindMax)
 	}
 	if c.dropPreResumeControl() {
 		return nil

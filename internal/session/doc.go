@@ -44,6 +44,17 @@
 // handshake progresses on the Recv path of both peers, so it completes
 // as a side effect of normal traffic.
 //
+// Orthogonal to all of the above, Options.Shape enables traffic
+// shaping (internal/session/shape): outgoing data-frame payloads are
+// padded to lengths sampled from the profile's bins and split at its
+// MTU, departures are paced by a sampled inter-frame gap, and an idle
+// session emits KindCover decoy frames — which every receiver, shaped
+// or not, silently discards. The shape is derived per epoch from the
+// Versioner's family seed (the ShapeSeeder interface), so it rotates
+// with the dialect and survives resumption. Shaping is symmetric:
+// both peers must run the same profile, because the shaped payload
+// carries an in-band trailer (see shaping.go).
+//
 // Sessions also survive the byte stream they run on: Export seals the
 // resumable control-plane state (epoch, rekey lineage, traffic
 // odometer) into an opaque ticket keyed on the dialect family's base

@@ -272,6 +272,9 @@ func (c *Conn) Export() ([]byte, error) {
 // connected would have. The exporter's cache-window hint applies when
 // opts.CacheWindow is unset.
 func ResumeConn(rw io.ReadWriter, versions Versioner, opts Options, ticket []byte) (*Conn, error) {
+	if err := validateShape(opts); err != nil {
+		return nil, err
+	}
 	sealer, okSeal := versions.(TicketSealer)
 	lin, okLin := versions.(Lineage)
 	if !okSeal || !okLin {
@@ -342,6 +345,12 @@ func ResumeConn(rw io.ReadWriter, versions Versioner, opts Options, ticket []byt
 		c.Release()
 		return nil, err
 	}
+	// Shaping survives migration: the profile is Options-carried
+	// configuration, and the per-epoch shape re-derives from the lineage
+	// just imported, so a resumed session keeps the shape the exported
+	// one had. The cover scheduler starts only now that the session is
+	// viable.
+	c.startCover(opts)
 	return c, nil
 }
 

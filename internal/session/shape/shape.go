@@ -1,0 +1,281 @@
+// Package shape defines traffic-shaping profiles for the session layer:
+// target frame-length distributions, inter-frame departure pacing and
+// cover-traffic cadence. The paper's obfuscation morphs the wire
+// *format* per epoch but leaves frame lengths and burst timing
+// untouched, so a ScrambleSuit-style statistical observer classifies
+// sessions without decoding a byte; a Profile is the counter-measure:
+// every outgoing data frame is padded (and, above the MTU, split) to a
+// length sampled from the profile, departures are paced to sampled
+// inter-frame gaps, and idle sessions emit cover frames, so the
+// observable length/timing distributions are the profile's, not the
+// application's.
+//
+// Samplers are deterministic and seedable — captures and tests
+// reproduce bit-identical shaped traffic — and Derive morphs a base
+// profile per (seed, epoch), so the shape itself rotates at epoch
+// boundaries exactly like the dialect does.
+//
+// The shaped-frame encoding is a payload trailer, mirroring the frame
+// package's kind|length idiom (see TrailerLen): pad bytes live inside
+// the framed payload, because the cleartext 24-bit length word must
+// keep naming the exact byte count the receiver reads.
+package shape
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"protoobf/internal/rng"
+)
+
+// TrailerLen is the fixed tail every shaped data frame carries: a 4-byte
+// big-endian word whose low 24 bits give the total shaping overhead
+// (pad bytes plus this word) and whose top byte carries flags.
+const TrailerLen = 4
+
+// flagMore marks a fragment of an MTU-split payload: the receiver
+// buffers the chunk and keeps reading until a frame without the flag
+// completes the message. The remaining flag bits are reserved and must
+// be zero.
+const flagMore = 0x80
+
+// Bin is one weighted length range of a profile: target lengths are
+// drawn uniformly from [Lo, Hi], bins chosen in proportion to Weight.
+type Bin struct {
+	Lo, Hi int
+	Weight int
+}
+
+// Profile is a traffic shape: what frame lengths and inter-frame gaps
+// an observer should see, regardless of what the application sends.
+type Profile struct {
+	// Name labels the profile in reports and metrics.
+	Name string
+
+	// Bins is the target frame-length distribution (framed payload
+	// bytes, shaping trailer included). A sampled target below what a
+	// frame needs is clamped up, so bins whose support sits above the
+	// application's frame sizes make observed lengths pure samples.
+	Bins []Bin
+
+	// MTU bounds every shaped frame's payload; messages that do not fit
+	// are split into flagMore fragments of at most MTU bytes each.
+	MTU int
+
+	// MinGap and MaxGap bound the sampled inter-frame departure gap:
+	// each frame departs no earlier than the previous departure plus a
+	// gap drawn uniformly from [MinGap, MaxGap]. Zero both to disable
+	// pacing (length morphing only).
+	MinGap, MaxGap time.Duration
+
+	// CoverIdle is how long a shaped session may sit idle before its
+	// cover scheduler emits a decoy frame (frame.KindCover). Zero
+	// disables cover traffic.
+	CoverIdle time.Duration
+
+	// Seed seeds the profile's samplers when the session's Versioner
+	// cannot supply a per-epoch shape seed (static sessions).
+	Seed int64
+}
+
+// Default returns the ScrambleSuit-style bimodal default: most frames
+// near a full MTU or in a mid-size band, sub-millisecond pacing, and
+// covers after a quarter second of silence.
+func Default() Profile {
+	return Profile{
+		Name: "bimodal",
+		Bins: []Bin{
+			{Lo: 560, Hi: 760, Weight: 3},
+			{Lo: 1248, Hi: 1448, Weight: 2},
+		},
+		MTU:       1448,
+		MinGap:    250 * time.Microsecond,
+		MaxGap:    2 * time.Millisecond,
+		CoverIdle: 250 * time.Millisecond,
+	}
+}
+
+// Validate checks the profile is usable: at least one bin, sane bounds,
+// positive weights, every bin inside (0, MTU], gaps ordered. The MTU
+// must leave room for a fragment to make progress past its trailer.
+func (p Profile) Validate() error {
+	if len(p.Bins) == 0 {
+		return fmt.Errorf("shape: profile %q has no length bins", p.Name)
+	}
+	if p.MTU <= TrailerLen {
+		return fmt.Errorf("shape: profile %q MTU %d leaves no room past the %d-byte trailer", p.Name, p.MTU, TrailerLen)
+	}
+	for i, b := range p.Bins {
+		if b.Weight <= 0 {
+			return fmt.Errorf("shape: profile %q bin %d has weight %d, want > 0", p.Name, i, b.Weight)
+		}
+		if b.Lo <= 0 || b.Hi < b.Lo || b.Hi > p.MTU {
+			return fmt.Errorf("shape: profile %q bin %d [%d, %d] outside (0, MTU=%d]", p.Name, i, b.Lo, b.Hi, p.MTU)
+		}
+	}
+	if p.MinGap < 0 || p.MaxGap < p.MinGap {
+		return fmt.Errorf("shape: profile %q gap bounds [%v, %v] unordered", p.Name, p.MinGap, p.MaxGap)
+	}
+	if p.CoverIdle < 0 {
+		return fmt.Errorf("shape: profile %q cover idle %v negative", p.Name, p.CoverIdle)
+	}
+	return nil
+}
+
+// Derive morphs a base profile deterministically per (seed, epoch):
+// bin edges shift within their span, bin weights re-balance and the gap
+// bounds stretch, all inside the base profile's envelope, so the shape
+// rotates at epoch boundaries — a long-lived observer sees a moving
+// target, not one fixed fingerprint — while two peers deriving from the
+// same seed still agree on it. The result always validates when the
+// base does.
+func Derive(base Profile, seed int64, epoch uint64) Profile {
+	r := rng.New(MixSeed(seed, epoch))
+	d := base
+	d.Bins = append([]Bin(nil), base.Bins...)
+	for i := range d.Bins {
+		b := &d.Bins[i]
+		span := b.Hi - b.Lo
+		// Shift the bin by up to a quarter of its span either way,
+		// clamped into (0, MTU].
+		shift := r.Intn(span/2+1) - span/4
+		lo, hi := b.Lo+shift, b.Hi+shift
+		if lo < 1 {
+			hi += 1 - lo
+			lo = 1
+		}
+		if hi > d.MTU {
+			lo -= hi - d.MTU
+			hi = d.MTU
+			if lo < 1 {
+				lo = 1
+			}
+		}
+		b.Lo, b.Hi = lo, hi
+		b.Weight = b.Weight + r.Intn(2) // nudge relative frequencies
+	}
+	if d.MaxGap > d.MinGap {
+		span := d.MaxGap - d.MinGap
+		// Shrink the gap window from either end by up to a quarter span.
+		d.MinGap += time.Duration(r.Int63n(int64(span)/4 + 1))
+		d.MaxGap -= time.Duration(r.Int63n(int64(span)/4 + 1))
+		if d.MaxGap < d.MinGap {
+			d.MaxGap = d.MinGap
+		}
+	}
+	return d
+}
+
+// MixSeed mixes a master seed and an epoch with a SplitMix64-style
+// finalizer (the per-epoch derivation idiom of internal/core), so
+// adjacent epochs yield unrelated sampler streams.
+func MixSeed(master int64, epoch uint64) int64 {
+	z := uint64(master) ^ 0x73686170652e7631 // "shape.v1"
+	z += 0x9E3779B97F4A7C15 * (epoch + 1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z >> 1)
+}
+
+// Sampler draws target lengths, inter-frame gaps and pad bytes from a
+// profile. It is deterministic for a (profile, seed) pair, and every
+// TargetLen/Gap call consumes a fixed number of draws from its own
+// stream — pad bytes come from a split-off stream — so two sessions
+// sharing a seed sample identical length/gap sequences however much
+// padding each one writes. Not safe for concurrent use; the session
+// layer serializes access under its shaper lock.
+type Sampler struct {
+	p     Profile
+	r     *rng.R // lengths and gaps: fixed draws per call
+	pad   *rng.R // pad bytes: volume must not skew the target stream
+	total int
+}
+
+// NewSampler returns a sampler over p seeded with seed. The profile
+// must validate.
+func NewSampler(p Profile, seed int64) *Sampler {
+	total := 0
+	for _, b := range p.Bins {
+		total += b.Weight
+	}
+	r := rng.New(seed)
+	return &Sampler{p: p, r: r, pad: r.Split(), total: total}
+}
+
+// Profile returns the (possibly derived) profile the sampler draws from.
+func (s *Sampler) Profile() Profile { return s.p }
+
+// TargetLen samples a target framed-payload length: a weighted bin, then
+// uniform within it. A target below min is clamped up to min — the
+// frame must still fit its content — so callers keep min at or below
+// the profile MTU via fragmentation.
+func (s *Sampler) TargetLen(min int) int {
+	w := s.r.Intn(s.total)
+	b := s.p.Bins[0]
+	for _, bin := range s.p.Bins {
+		if w < bin.Weight {
+			b = bin
+			break
+		}
+		w -= bin.Weight
+	}
+	t := b.Lo + s.r.Intn(b.Hi-b.Lo+1)
+	if t < min {
+		t = min
+	}
+	return t
+}
+
+// Gap samples the next inter-frame departure gap from [MinGap, MaxGap].
+func (s *Sampler) Gap() time.Duration {
+	span := int64(s.p.MaxGap - s.p.MinGap)
+	if span <= 0 {
+		return s.p.MinGap
+	}
+	return s.p.MinGap + time.Duration(s.r.Int63n(span+1))
+}
+
+// AppendPad appends n random pad bytes to buf. Pad bytes are drawn from
+// the sampler's isolated pad stream and are uniform — inside an
+// obfuscated payload they are indistinguishable from content.
+func (s *Sampler) AppendPad(buf []byte, n int) []byte {
+	for i := 0; i < n; i++ {
+		buf = append(buf, byte(s.pad.Intn(256)))
+	}
+	return buf
+}
+
+// AppendTrailer appends the shaped-frame trailer recording pad pad bytes
+// (already appended by the caller) and the more-fragments flag.
+func AppendTrailer(buf []byte, pad int, more bool) []byte {
+	word := uint32(pad + TrailerLen)
+	if more {
+		word |= uint32(flagMore) << 24
+	}
+	var t [TrailerLen]byte
+	binary.BigEndian.PutUint32(t[:], word)
+	return append(buf, t[:]...)
+}
+
+// SplitTrailer validates and strips the shaping trailer from a received
+// shaped payload, returning the content chunk and the more-fragments
+// flag. Errors are protocol violations the session layer rejects (and
+// counts): a frame too short for any trailer, reserved flag bits set,
+// or an overhead claim the frame does not cover.
+func SplitTrailer(p []byte) (chunk []byte, more bool, err error) {
+	if len(p) < TrailerLen {
+		return nil, false, fmt.Errorf("shape: frame of %d bytes is shorter than the %d-byte shaping trailer", len(p), TrailerLen)
+	}
+	word := binary.BigEndian.Uint32(p[len(p)-TrailerLen:])
+	flags := byte(word >> 24)
+	if flags&^byte(flagMore) != 0 {
+		return nil, false, fmt.Errorf("shape: reserved trailer flag bits %#02x set", flags)
+	}
+	overhead := int(word & 0x00FFFFFF)
+	if overhead < TrailerLen || overhead > len(p) {
+		return nil, false, fmt.Errorf("shape: trailer claims %d overhead bytes of a %d-byte frame", overhead, len(p))
+	}
+	return p[:len(p)-overhead], flags&flagMore != 0, nil
+}

@@ -1,0 +1,201 @@
+package shape
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDefaultValidates pins the shipped default to its own contract.
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default() does not validate: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := Default()
+	cases := []struct {
+		name string
+		mut  func(*Profile)
+	}{
+		{"no bins", func(p *Profile) { p.Bins = nil }},
+		{"mtu below trailer", func(p *Profile) { p.MTU = TrailerLen }},
+		{"zero weight", func(p *Profile) { p.Bins[0].Weight = 0 }},
+		{"negative weight", func(p *Profile) { p.Bins[0].Weight = -1 }},
+		{"zero lo", func(p *Profile) { p.Bins[0].Lo = 0 }},
+		{"hi below lo", func(p *Profile) { p.Bins[0].Hi = p.Bins[0].Lo - 1 }},
+		{"hi above mtu", func(p *Profile) { p.Bins[1].Hi = p.MTU + 1 }},
+		{"negative min gap", func(p *Profile) { p.MinGap = -time.Millisecond }},
+		{"max gap below min", func(p *Profile) { p.MaxGap = p.MinGap - 1 }},
+		{"negative cover idle", func(p *Profile) { p.CoverIdle = -time.Second }},
+	}
+	for _, tc := range cases {
+		p := base
+		p.Bins = append([]Bin(nil), base.Bins...)
+		tc.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken profile", tc.name)
+		}
+	}
+}
+
+// TestSamplerHonorsSupport drives 10k draws and checks every target lies
+// in some bin (or was clamped up to the requested minimum) and never
+// exceeds the MTU — the property the shaped send path relies on to fit
+// every frame.
+func TestSamplerHonorsSupport(t *testing.T) {
+	p := Default()
+	s := NewSampler(p, 42)
+	inBin := func(n int) bool {
+		for _, b := range p.Bins {
+			if n >= b.Lo && n <= b.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 10000; i++ {
+		min := 1 + i%p.MTU // sweep every feasible minimum
+		n := s.TargetLen(min)
+		if n < min {
+			t.Fatalf("draw %d: TargetLen(%d) = %d below the minimum", i, min, n)
+		}
+		if n > p.MTU {
+			t.Fatalf("draw %d: TargetLen(%d) = %d above MTU %d", i, min, n, p.MTU)
+		}
+		if n != min && !inBin(n) {
+			t.Fatalf("draw %d: unclamped target %d lies in no bin", i, n)
+		}
+	}
+}
+
+// TestSamplerGapBounds checks 10k gaps stay inside [MinGap, MaxGap].
+func TestSamplerGapBounds(t *testing.T) {
+	p := Default()
+	s := NewSampler(p, 7)
+	for i := 0; i < 10000; i++ {
+		g := s.Gap()
+		if g < p.MinGap || g > p.MaxGap {
+			t.Fatalf("draw %d: gap %v outside [%v, %v]", i, g, p.MinGap, p.MaxGap)
+		}
+	}
+}
+
+// TestSamplerDeterministic: two samplers sharing (profile, seed) draw
+// identical length and gap sequences even when one writes far more pad —
+// the property that keeps two shaped peers' observable streams aligned.
+func TestSamplerDeterministic(t *testing.T) {
+	p := Default()
+	a, b := NewSampler(p, 99), NewSampler(p, 99)
+	var buf []byte
+	for i := 0; i < 1000; i++ {
+		// a pads heavily, b not at all: the target/gap streams must not care.
+		buf = a.AppendPad(buf[:0], 100)
+		if la, lb := a.TargetLen(1), b.TargetLen(1); la != lb {
+			t.Fatalf("draw %d: targets diverged (%d vs %d) under different pad volume", i, la, lb)
+		}
+		if ga, gb := a.Gap(), b.Gap(); ga != gb {
+			t.Fatalf("draw %d: gaps diverged (%v vs %v) under different pad volume", i, ga, gb)
+		}
+	}
+}
+
+// TestDeriveValidAndDeterministic: derived profiles validate for many
+// (seed, epoch) pairs, equal inputs derive equal profiles, and distinct
+// epochs actually move the shape.
+func TestDeriveValidAndDeterministic(t *testing.T) {
+	base := Default()
+	moved := false
+	for epoch := uint64(0); epoch < 200; epoch++ {
+		d := Derive(base, 1234, epoch)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("epoch %d: derived profile invalid: %v", epoch, err)
+		}
+		if d.MinGap < base.MinGap || d.MaxGap > base.MaxGap {
+			t.Fatalf("epoch %d: derived gaps [%v, %v] escape the base envelope [%v, %v]",
+				epoch, d.MinGap, d.MaxGap, base.MinGap, base.MaxGap)
+		}
+		d2 := Derive(base, 1234, epoch)
+		for i := range d.Bins {
+			if d.Bins[i] != d2.Bins[i] {
+				t.Fatalf("epoch %d: Derive not deterministic: %+v vs %+v", epoch, d.Bins[i], d2.Bins[i])
+			}
+		}
+		if d.Bins[0] != base.Bins[0] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("200 epochs of Derive never moved the first bin — the shape does not rotate")
+	}
+	if Derive(base, 1, 5).Bins[0] == Derive(base, 2, 5).Bins[0] &&
+		Derive(base, 1, 6).Bins[0] == Derive(base, 2, 6).Bins[0] {
+		t.Fatal("distinct seeds derive identical bins across epochs")
+	}
+}
+
+func TestTrailerRoundtrip(t *testing.T) {
+	s := NewSampler(Default(), 3)
+	for _, tc := range []struct {
+		content int
+		pad     int
+		more    bool
+	}{
+		{0, 0, false},
+		{1, 0, true},
+		{100, 57, false},
+		{100, 57, true},
+		{1444, 0, true},
+		{0, 1444, false},
+	} {
+		buf := s.AppendPad(nil, tc.content) // arbitrary content bytes
+		buf = s.AppendPad(buf, tc.pad)
+		buf = AppendTrailer(buf, tc.pad, tc.more)
+		if want := tc.content + tc.pad + TrailerLen; len(buf) != want {
+			t.Fatalf("%+v: framed %d bytes, want %d", tc, len(buf), want)
+		}
+		chunk, more, err := SplitTrailer(buf)
+		if err != nil {
+			t.Fatalf("%+v: SplitTrailer: %v", tc, err)
+		}
+		if len(chunk) != tc.content || more != tc.more {
+			t.Fatalf("%+v: got %d content bytes, more=%v", tc, len(chunk), more)
+		}
+	}
+}
+
+func TestSplitTrailerRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    []byte
+	}{
+		{"empty", nil},
+		{"short", []byte{0, 0, 4}},
+		{"reserved flags", AppendTrailer(nil, 0, false)[:3:3]},
+		{"overhead above frame", []byte{0x00, 0x00, 0x00, 0x09}},
+		{"overhead below trailer", []byte{0x00, 0x00, 0x00, 0x01}},
+		{"zero overhead", []byte{0x00, 0x00, 0x00, 0x00}},
+	} {
+		p := tc.p
+		if tc.name == "reserved flags" {
+			p = append(p, 0x41, 0x00, 0x00, 0x04) // flag bit 0x40 set
+		}
+		if _, _, err := SplitTrailer(p); err == nil {
+			t.Errorf("%s: SplitTrailer accepted %x", tc.name, p)
+		}
+	}
+}
+
+func TestMixSeedSpread(t *testing.T) {
+	seen := map[int64]bool{}
+	for epoch := uint64(0); epoch < 1000; epoch++ {
+		s := MixSeed(42, epoch)
+		if s < 0 {
+			t.Fatalf("epoch %d: negative mixed seed %d", epoch, s)
+		}
+		if seen[s] {
+			t.Fatalf("epoch %d: mixed seed %d collides", epoch, s)
+		}
+		seen[s] = true
+	}
+}

@@ -27,6 +27,7 @@ func (ep *Endpoint) Metrics() Metrics {
 	}
 	m.Prefetch = ep.prefetchStats.Snapshot()
 	m.Resume = ep.resumeStats.Snapshot()
+	m.Shape = ep.shapeStats.Snapshot()
 	return m
 }
 

@@ -1,0 +1,65 @@
+package protoobf
+
+import (
+	"time"
+
+	"protoobf/internal/session/shape"
+)
+
+// ShapeProfile describes a traffic shape: the frame-length distribution,
+// inter-frame departure pacing and cover-traffic cadence an observer
+// should see on a shaped session, regardless of what the application
+// sends. Dialect rotation hides what messages *say*; a profile hides
+// what they *look like* — without it, frame lengths and burst timing
+// pass straight through and a ScrambleSuit-style statistical classifier
+// identifies the protocol without decoding a byte.
+//
+// Profiles are plain data: build one literally, or start from
+// DefaultShapeProfile and adjust. A profile must Validate (every bin
+// inside (0, MTU], ordered gaps); session construction rejects one that
+// does not.
+type ShapeProfile = shape.Profile
+
+// ShapeBin is one weighted length range of a ShapeProfile: target frame
+// lengths are drawn uniformly from [Lo, Hi], bins chosen in proportion
+// to Weight.
+type ShapeBin = shape.Bin
+
+// DefaultShapeProfile returns the ScrambleSuit-style bimodal default:
+// most frames near a full MTU or in a mid-size band, sub-millisecond
+// pacing, cover frames after a quarter second of silence.
+func DefaultShapeProfile() ShapeProfile { return shape.Default() }
+
+// WithShaping turns on traffic shaping for the endpoint's sessions (or,
+// in session position, for one session): every outgoing data frame is
+// padded to a length sampled from the profile — and split into
+// fragments at the profile MTU — departures are paced by sampled
+// inter-frame gaps, and an idle session emits cover frames the peer
+// silently discards. The shape itself rotates: profile parameters are
+// re-derived each epoch from the dialect family's seed lineage, so a
+// rekey moves the traffic shape exactly as it moves the wire format.
+//
+// Shaping is symmetric: both peers must be built with the same profile
+// (pad bytes ride inside the framed payload, and the receiver must
+// strip them), exactly like the (spec, seed) contract. Cover frames
+// alone are compatible with unshaped peers — every session discards
+// them. Padding and pacing cost real overhead; Metrics reports both
+// (pad bytes, injected delay) so the stealth/throughput trade is
+// observable.
+func WithShaping(p ShapeProfile) Option {
+	return func(cfg *settings) { cfg.shape = &p }
+}
+
+// WithShapeClock injects the shaper's time source and delay primitive —
+// nil defaults are time.Now and time.Sleep. A non-nil now marks the
+// session as simulated: the idle cover scheduler goroutine is not
+// started, and pacing consults the injected clock, which is how the
+// adversary harness (and tests) capture deterministically shaped
+// traffic with zero real sleeping. Production endpoints do not need
+// this option.
+func WithShapeClock(now func() time.Time, sleep func(time.Duration)) Option {
+	return func(cfg *settings) {
+		cfg.shapeClock = now
+		cfg.shapeSleep = sleep
+	}
+}
