@@ -18,6 +18,8 @@
 //	protoobf-bench -migrate -sessions 8 -cycles 4      # kill-and-resume migration workload
 //	protoobf-bench -migrate -tcp -metrics              # same over loopback TCP, with snapshots
 //	protoobf-bench -adversary -out bench-out           # standing adversary run, BENCH_<runid>.json
+//	protoobf-bench -gateway -sessions 1024             # fleet migration through the routing gateway
+//	protoobf-bench -gateway -inproc -sessions 64       # same with goroutine backends (no fork)
 //	protoobf-bench -all                                # everything, default sizes
 //
 // SIGINT/SIGTERM cancel a run cleanly: in-flight workloads stop between
@@ -32,8 +34,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"protoobf/internal/bench"
 )
@@ -86,6 +90,10 @@ func run(ctx context.Context, args []string) error {
 	sessionWL := fs.Bool("session", false, "run the scheduled-rotation session workload")
 	endpointWL := fs.Bool("endpoint", false, "run the many-sessions-one-family endpoint workload")
 	migrateWL := fs.Bool("migrate", false, "run the kill-and-resume session migration workload")
+	gatewayWL := fs.Bool("gateway", false, "run the multi-process gateway fleet-migration workload and emit BENCH_<runid>.json")
+	inproc := fs.Bool("inproc", false, "with -gateway: run the backends as goroutines instead of child processes")
+	backendsN := fs.Int("backends", 2, "backend processes in the gateway workload")
+	gatewayBackend := fs.String("gateway-backend", "", "internal: serve one backend of the -gateway workload (JSON config)")
 	cycles := fs.Int("cycles", 4, "kill/resume cycles per session in the migration workload")
 	sessions := fs.Int("sessions", 16, "concurrent session pairs in the endpoint workload")
 	shards := fs.Int("shards", 0, "version-cache lock shards in the endpoint workload (0 = default, 1 = single mutex)")
@@ -98,6 +106,64 @@ func run(ctx context.Context, args []string) error {
 	all := fs.Bool("all", false, "run every experiment for both protocols")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Child-process mode: the cross-process gateway workload re-invokes
+	// this binary to run one backend; serve and exit before anything else.
+	if *gatewayBackend != "" {
+		return bench.RunGatewayBackendStdio(*gatewayBackend, os.Stdin, os.Stdout)
+	}
+
+	// The gateway workload has its own (larger) defaults for the shared
+	// sizing flags; only explicit values override them.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *gatewayWL {
+		gcfg := bench.GatewayConfig{
+			Backends: *backendsN,
+			Seed:     *seed,
+			InProc:   *inproc,
+			Metrics:  *showMetrics,
+		}
+		if explicit["sessions"] {
+			gcfg.Sessions = *sessions
+		}
+		if explicit["cycles"] {
+			gcfg.Cycles = *cycles
+		}
+		if explicit["msgs"] {
+			gcfg.MsgsPerCycle = *msgs
+		}
+		res, err := bench.RunGateway(ctx, gcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
+		created := time.Now().UTC()
+		id := *runID
+		if id == "" {
+			id = created.Format("20060102T150405Z")
+		}
+		rep := &bench.BenchReport{
+			Schema:  bench.BenchSchema,
+			RunID:   id,
+			Created: created.Format(time.RFC3339),
+			Go:      runtime.Version(),
+			Seed:    *seed,
+			PerNode: res.Config.PerNode,
+			Gateway: &res.Report,
+		}
+		path, err := rep.WriteJSON(*outDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		if res.Report.WarmDemandCompiles > 0 {
+			return fmt.Errorf("warm fleet compiled %d dialects on demand — the artifact cache should have answered them (see %s)",
+				res.Report.WarmDemandCompiles, path)
+		}
+		return nil
 	}
 
 	if *adversaryWL {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"protoobf/internal/artifact"
 	"protoobf/internal/core"
 	"protoobf/internal/metrics"
 	"protoobf/internal/session"
@@ -33,6 +34,10 @@ import (
 type Endpoint struct {
 	rot  *core.Rotation
 	base settings
+
+	// replay, when non-nil (WithTicketReplayWindow), makes resumption
+	// tickets single-use across every session this endpoint accepts.
+	replay *session.ReplayCache
 
 	// prefetchStats counts the prefetch daemon's work; prefetchOn
 	// guards against two daemons racing on one endpoint.
@@ -67,6 +72,9 @@ type settings struct {
 	shape           *ShapeProfile
 	shapeClock      func() time.Time
 	shapeSleep      func(time.Duration)
+	artifactDir     string
+	replayWindow    *int
+	reissue         *bool
 }
 
 // Option is a functional option accepted by both NewEndpoint and
@@ -174,6 +182,44 @@ func WithVersionCache(window, shards int) Option {
 	}
 }
 
+// WithArtifactCache backs the endpoint's dialect family with an
+// on-disk artifact store at dir: every compiled dialect version is
+// saved as a versioned artifact keyed by (spec digest, family seed,
+// epoch), and version lookups try the store before compiling. A second
+// process — or the same one after a restart — built from the same spec
+// and options loads its dialects from the cache instead of recompiling,
+// so backend cold-start and epoch storms become disk reads. Corrupt or
+// mismatched artifacts are counted (Metrics().Rotation.ArtifactErrors)
+// and fall back to compilation; the cache never changes wire behavior,
+// only who pays for compilation. Endpoint-level only.
+func WithArtifactCache(dir string) Option {
+	return func(cfg *settings) { cfg.artifactDir = dir }
+}
+
+// WithTicketReplayWindow makes resumption tickets single-use across
+// every session the endpoint accepts: a replay cache remembering up to
+// n recently presented tickets (0 means session.DefaultReplayWindow)
+// refuses the second presentation of any ticket with a counted
+// `replay` reject reason. Without it (the default) a ticket stays
+// acceptable until its resume window expires, which keeps reconnect
+// semantics loose for single-process deployments; fleets fronted by a
+// gateway should enable it and rely on WithTicketReissue to keep
+// migrated sessions resumable. Endpoint-level only (the cache is what
+// makes tickets single-use across sessions).
+func WithTicketReplayWindow(n int) Option {
+	return func(cfg *settings) { cfg.replayWindow = &n }
+}
+
+// WithTicketReissue pushes a fresh resumption ticket to the peer
+// in-band after every committed rekey and after accepting a resume, so
+// a session whose previous ticket was spent (single-use under a replay
+// cache) or invalidated (by the rekey) is immediately migratable
+// again. The peer stores the newest ticket; Session.StoredTicket
+// returns it. Off by default.
+func WithTicketReissue(on bool) Option {
+	return func(cfg *settings) { cfg.reissue = &on }
+}
+
 // NewEndpoint compiles the dialect family of (spec, opts) once and
 // returns the endpoint that mints its sessions. Endpoint options become
 // the default control-plane configuration of every session; each can be
@@ -184,11 +230,25 @@ func NewEndpoint(spec string, opts Options, o ...EndpointOption) (*Endpoint, err
 		fn(&ep.base)
 	}
 	if ep.base.static == nil {
-		rot, err := core.NewRotationCache(spec, opts, ep.base.versionWindow, ep.base.versionShards)
+		var rot *core.Rotation
+		var err error
+		if dir := ep.base.artifactDir; dir != "" {
+			var store *artifact.Store
+			store, err = artifact.NewStore(dir)
+			if err != nil {
+				return nil, fmt.Errorf("protoobf: artifact cache: %w", err)
+			}
+			rot, err = core.NewRotationStore(spec, opts, ep.base.versionWindow, ep.base.versionShards, store)
+		} else {
+			rot, err = core.NewRotationCache(spec, opts, ep.base.versionWindow, ep.base.versionShards)
+		}
 		if err != nil {
 			return nil, err
 		}
 		ep.rot = rot
+	}
+	if w := ep.base.replayWindow; w != nil {
+		ep.replay = session.NewReplayCache(*w)
 	}
 	return ep, nil
 }
@@ -230,6 +290,12 @@ func (ep *Endpoint) sessionConfig(o []SessionOption) (settings, error) {
 	if cfg.prefetch != ep.base.prefetch {
 		return cfg, errors.New("protoobf: WithPrefetch is endpoint-level; pass it to NewEndpoint")
 	}
+	if cfg.artifactDir != ep.base.artifactDir {
+		return cfg, errors.New("protoobf: WithArtifactCache is endpoint-level; pass it to NewEndpoint")
+	}
+	if cfg.replayWindow != ep.base.replayWindow {
+		return cfg, errors.New("protoobf: WithTicketReplayWindow is endpoint-level; pass it to NewEndpoint")
+	}
 	return cfg, nil
 }
 
@@ -251,6 +317,10 @@ func (ep *Endpoint) sessionOpts(cfg settings) session.Options {
 		sopts.ResumeWindow = *cfg.resumeWindow
 	}
 	sopts.ResumeStats = &ep.resumeStats
+	sopts.Replay = ep.replay
+	if cfg.reissue != nil {
+		sopts.ReissueTickets = *cfg.reissue
+	}
 	if cfg.shape != nil {
 		p := *cfg.shape // each session owns its copy; profiles are small
 		sopts.Shape = &p
@@ -341,6 +411,23 @@ func (ep *Endpoint) Version(epoch uint64) (*Protocol, error) {
 	}
 	return ep.rot.Version(epoch)
 }
+
+// TicketOpener exposes the endpoint's dialect family as a ticket
+// opener: a gateway fronting this endpoint's fleet uses it to verify
+// and inspect resumption tickets (session.InspectTicket) for routing
+// without building a session. It is nil for static endpoints, which
+// cannot resume.
+func (ep *Endpoint) TicketOpener() session.TicketOpener {
+	if ep.rot == nil {
+		return nil
+	}
+	return ep.rot.View()
+}
+
+// ReplayCache exposes the endpoint's single-use ticket cache (nil
+// unless WithTicketReplayWindow was given) so a gateway and its
+// backends can share one replay scope.
+func (ep *Endpoint) ReplayCache() *session.ReplayCache { return ep.replay }
 
 // Rotation exposes the endpoint's shared dialect family for inspection
 // (cache introspection, direct Version access). It is nil for static

@@ -1,0 +1,199 @@
+// The fleet topology in one process: two backend endpoints (each with
+// ticket re-issue and a shared on-disk artifact cache) behind a
+// routing gateway that holds no dialect state of its own. A client
+// dials through the gateway, rekeys to a private dialect family,
+// and then migrates between the two backends on resumption tickets —
+// each ticket verified under the fleet seed at the front door, made
+// single-use by the gateway's replay cache, and replaced in-band by
+// the accepting backend. The final replay attempt shows a spent
+// ticket dying at the gateway before any backend sees it.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"protoobf"
+)
+
+const spec = `
+protocol beacon;
+root seq msg end {
+    uint  device 2;
+    uint  seqno 4;
+    uint  blen 2;
+    seq body length(blen) {
+        bytes status delim ";" min 1;
+    }
+    bytes sig end;
+}
+`
+
+const fleetSeed = 0x6A7E
+
+func main() {
+	opts := protoobf.Options{PerNode: 2, Seed: fleetSeed}
+	artifacts, err := os.MkdirTemp("", "protoobf-artifacts-")
+	check(err)
+	defer os.RemoveAll(artifacts)
+
+	// Two backends, as two processes would build them: same (spec,
+	// seed), one shared artifact cache, tickets re-issued after every
+	// rekey and resume so clients always hold a fresh (unspent) one.
+	reg := protoobf.NewRegistry(0)
+	backends := make([]*protoobf.Endpoint, 2)
+	for i := range backends {
+		ep, err := protoobf.NewEndpoint(spec, opts,
+			protoobf.WithArtifactCache(artifacts),
+			protoobf.WithTicketReissue(true))
+		check(err)
+		backends[i] = ep
+		ln, err := ep.Listen("tcp", "127.0.0.1:0")
+		check(err)
+		defer ln.Close()
+		go serve(ln, uint64(i+1)) // each backend tags its acks
+		check(reg.Add(protoobf.Backend{
+			Name: fmt.Sprintf("b%d", i+1),
+			Addr: ln.Addr().String(),
+		}))
+	}
+
+	// The gateway: routes on one peeked frame header, authenticates
+	// tickets under the fleet seed, and makes them single-use.
+	gw, err := protoobf.NewGateway(protoobf.GatewayConfig{
+		Registry: reg,
+		Opener:   protoobf.SeedOpener(fleetSeed),
+		Replay:   protoobf.NewReplayCache(0),
+	})
+	check(err)
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go gw.Serve(gln)
+	defer gw.Close()
+	gwAddr := gln.Addr().String()
+	fmt.Printf("gateway on %s fronting %d backends\n", gwAddr, len(reg.Backends()))
+
+	client, err := protoobf.NewEndpoint(spec, opts,
+		protoobf.WithArtifactCache(artifacts))
+	check(err)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Establish through the gateway and rekey to a private family.
+	sess, err := client.Dial(ctx, "tcp", gwAddr)
+	check(err)
+	tag := echo(sess, 1)
+	_, err = sess.Rekey(0x5EED)
+	check(err)
+	echo(sess, 2) // carries the proposal; the backend acks
+	echo(sess, 3) // completes the handshake and triggers re-issue
+	fmt.Printf("established on backend %d, rekeyed to a private family\n", tag)
+
+	// Migrate twice: kill the connection, resume through the gateway on
+	// the freshest ticket. The gateway routes each resume by the family
+	// it reads from the ticket; whichever backend accepts restores the
+	// session (artifact cache keeping it cheap) and issues a new ticket.
+	var ticket []byte
+	for hop := 1; hop <= 2; hop++ {
+		ticket = sess.StoredTicket() // pushed by the backend after rekey/resume
+		if ticket == nil {
+			ticket, err = sess.Export()
+			check(err)
+		}
+		check(sess.Close())
+		sess, err = client.DialResume(ctx, "tcp", gwAddr, ticket)
+		check(err)
+		tag = echo(sess, uint64(100*hop))
+		fmt.Printf("hop %d: resumed via gateway onto backend %d\n", hop, tag)
+	}
+	check(sess.Close())
+
+	// `ticket` was presented on the final hop, so it is spent: a second
+	// presentation dies at the front door — the gateway's replay cache
+	// refuses it before any backend sees the stream.
+	if replayed, err := client.DialResume(ctx, "tcp", gwAddr, ticket); err == nil {
+		if _, rerr := replayed.Recv(); rerr == nil {
+			log.Fatal("replayed ticket served traffic")
+		}
+		replayed.Close()
+	}
+
+	s := gw.Stats()
+	fmt.Printf("gateway counters: fresh=%d resumed=%d replay-rejects=%d forged=%d\n",
+		s.FreshRouted, s.ResumeRouted, s.ReplayRejects, s.ForgedRejects)
+	for i, ep := range backends {
+		m := ep.Metrics()
+		fmt.Printf("backend %d: resume accepts=%d, tickets issued=%d, artifact loads=%d\n",
+			i+1, m.Resume.Accepts, m.Resume.TicketsIssued, m.Rotation.ArtifactLoads)
+	}
+}
+
+// serve echoes each beacon's seqno back (+1000), stamping the
+// backend's tag into the device field so the client can tell which
+// backend served it.
+func serve(ln *protoobf.Listener, tag uint64) {
+	for {
+		sess, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(sess *protoobf.Session) {
+			defer sess.Close()
+			for {
+				got, err := sess.Recv()
+				if err != nil {
+					return
+				}
+				seq, err := got.Scope().GetUint("seqno")
+				if err != nil {
+					return
+				}
+				reply, err := sess.NewMessage()
+				if err != nil {
+					return
+				}
+				s := reply.Scope()
+				if s.SetUint("device", tag) != nil || s.SetUint("seqno", seq+1000) != nil ||
+					s.SetString("status", "ack") != nil || s.SetBytes("sig", nil) != nil {
+					return
+				}
+				if sess.Send(reply) != nil {
+					return
+				}
+			}
+		}(sess)
+	}
+}
+
+// echo round-trips one seqno and returns the tag of the backend that
+// answered.
+func echo(sess *protoobf.Session, seqno uint64) uint64 {
+	m, err := sess.NewMessage()
+	check(err)
+	s := m.Scope()
+	check(s.SetUint("device", 1))
+	check(s.SetUint("seqno", seqno))
+	check(s.SetString("status", "ok"))
+	check(s.SetBytes("sig", nil))
+	check(sess.Send(m))
+	got, err := sess.Recv()
+	check(err)
+	v, err := got.Scope().GetUint("seqno")
+	check(err)
+	if v != seqno+1000 {
+		log.Fatalf("echoed seqno %d, want %d", v, seqno+1000)
+	}
+	tag, err := got.Scope().GetUint("device")
+	check(err)
+	return tag
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package protoobf
+
+import (
+	"protoobf/internal/gateway"
+	"protoobf/internal/session"
+)
+
+// Gateway is a multi-process routing front: it accepts raw protoobf
+// streams, peeks the single control frame a stream leads with, and
+// routes the connection to a backend process — fresh dials round-robin
+// across the fleet, resuming sessions to the backend that owns their
+// dialect family (or to any backend, which restores the family from
+// the ticket plus the shared artifact cache). After routing it splices
+// bytes; it never holds dialect state of its own. See internal/gateway.
+type Gateway = gateway.Gateway
+
+// GatewayConfig configures NewGateway.
+type GatewayConfig = gateway.Config
+
+// GatewayStats is a point-in-time snapshot of a gateway's routing
+// counters.
+type GatewayStats = gateway.Stats
+
+// Backend names one routable backend process of a gateway registry.
+type Backend = gateway.Backend
+
+// Registry is a gateway's routing table: live backends plus the bounded
+// map of which backend last served each rekeyed dialect family.
+type Registry = gateway.Registry
+
+// NewRegistry builds an empty backend registry. ownerCap bounds the
+// family-owner map (0 means a 65536-family default).
+func NewRegistry(ownerCap int) *Registry { return gateway.NewRegistry(ownerCap) }
+
+// NewGateway builds a routing gateway from cfg. The registry is
+// required; an Opener (SeedOpener, or Endpoint.TicketOpener when the
+// gateway process also compiles the family) lets it authenticate and
+// family-route resumes, and a ReplayCache (NewReplayCache) makes
+// tickets single-use fleet-wide at the front door.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
+
+// SeedOpener builds a ticket opener from the fleet's base master seed —
+// what a standalone gateway process, which never compiles a spec,
+// authenticates resumption tickets with.
+func SeedOpener(seed int64) session.TicketOpener { return gateway.SeedOpener(seed) }
+
+// NewReplayCache builds a single-use ticket cache remembering up to
+// capacity recently presented tickets (capacity <= 0 means the default
+// window of 4096). Hand one to a GatewayConfig to reject fleet-wide
+// ticket replays at the gateway.
+func NewReplayCache(capacity int) *session.ReplayCache {
+	return session.NewReplayCache(capacity)
+}
+
+// InspectTicket verifies a resumption ticket and reports its epoch and
+// dialect family without building a session — the routing peek a
+// gateway performs on each resume stream.
+func InspectTicket(o session.TicketOpener, ticket []byte) (session.TicketInfo, error) {
+	return session.InspectTicket(o, ticket)
+}
+
+// TicketOpener verifies sealed resumption tickets; see SeedOpener and
+// Endpoint.TicketOpener.
+type TicketOpener = session.TicketOpener
+
+// TicketInfo is what InspectTicket learns from a ticket: the epoch it
+// was exported at and, for rekeyed sessions, the dialect family seed
+// that routing keys on.
+type TicketInfo = session.TicketInfo

@@ -1,0 +1,96 @@
+//go:build ignore
+
+// gen_corpus writes the checked-in seed corpus for FuzzArtifactDecode:
+// a handful of real encodings (different seeds, so different transform
+// pipelines), a mutated sibling, and the shortest interesting prefixes.
+// Run from the repo root with
+//
+//	go run internal/artifact/gen_corpus.go
+//
+// and commit the files it writes under
+// internal/artifact/testdata/fuzz/FuzzArtifactDecode/.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"protoobf/internal/artifact"
+	"protoobf/internal/core"
+)
+
+const spec = `
+protocol telemetry;
+root seq msg end {
+    uint  device 2;
+    uint  seqno 4;
+    uint  blen 2;
+    seq body length(blen) {
+        bytes status delim ";" min 1;
+    }
+    bytes sig end;
+}
+`
+
+func encoded(seed int64, epoch uint64) []byte {
+	p, err := core.Compile(spec, core.ObfuscationOptions{PerNode: 3, Seed: seed})
+	if err != nil {
+		log.Fatalf("compile seed %d: %v", seed, err)
+	}
+	enc, err := artifact.Encode(&artifact.Artifact{
+		Key: artifact.Key{
+			SpecDigest: artifact.SpecDigest(spec, 3, nil, nil),
+			Family:     seed,
+			Epoch:      epoch,
+		},
+		PerNode: 3,
+		Applied: len(p.Applied),
+		Graph:   p.Graph,
+	})
+	if err != nil {
+		log.Fatalf("encode seed %d: %v", seed, err)
+	}
+	return enc
+}
+
+func main() {
+	dir := filepath.Join("internal", "artifact", "testdata", "fuzz", "FuzzArtifactDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	seeds := map[string][]byte{}
+
+	var magic [4]byte
+	binary.BigEndian.PutUint32(magic[:], 0x64696131)
+	seeds["empty"] = nil
+	seeds["magic-only"] = magic[:]
+	seeds["magic-version"] = append(append([]byte(nil), magic[:]...), 0x00, 0x01)
+
+	for _, s := range []int64{7, 53, 9001} {
+		seeds[fmt.Sprintf("encoded-seed-%d", s)] = encoded(s, uint64(s)%5)
+	}
+
+	// A mutated sibling: a valid encoding with one byte flipped deep in
+	// the node tree, so the fuzzer starts with a near-miss.
+	mut := encoded(7, 1)
+	mut[len(mut)/2] ^= 0x01
+	seeds["mutated"] = mut
+
+	// Truncation of a real encoding: exercises every reader bound.
+	trunc := encoded(53, 2)
+	seeds["truncated"] = trunc[:len(trunc)/3]
+
+	for name, data := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes of input)\n", path, len(data))
+	}
+}

@@ -1,0 +1,91 @@
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Store is a disk cache of encoded artifacts, one file per key, shared
+// between processes. Writes are atomic (temp file + rename), so
+// concurrent writers racing on the same key are safe: both produce a
+// complete blob and the last rename wins. Readers never observe a
+// partial file.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) the cache directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("artifact: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file a key maps to. The name carries a spec-digest
+// prefix plus the full (family, epoch) pair, so fleets with different
+// specs or obfuscation options can share one directory without
+// collisions.
+func (s *Store) Path(k Key) string {
+	name := fmt.Sprintf("%x-%016x-%016x.dia", k.SpecDigest[:8], uint64(k.Family), k.Epoch)
+	return filepath.Join(s.dir, name)
+}
+
+// Load fetches and decodes the artifact for k. A missing file is a
+// clean miss (nil, false, nil); a present-but-invalid file is an
+// error, including a decoded artifact whose embedded key disagrees
+// with the requested one (a digest-prefix collision or a renamed
+// file).
+func (s *Store) Load(k Key) (*Artifact, bool, error) {
+	path := s.Path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("artifact: %w", err)
+	}
+	a, err := Decode(data)
+	if err != nil {
+		return nil, false, fmt.Errorf("artifact %s: %w", path, err)
+	}
+	if a.Key != k {
+		return nil, false, fmt.Errorf("artifact %s: embedded key (family %d, epoch %d) does not match the requested one (family %d, epoch %d)",
+			path, a.Key.Family, a.Key.Epoch, k.Family, k.Epoch)
+	}
+	return a, true, nil
+}
+
+// Save encodes and atomically writes a under its key.
+func (s *Store) Save(a *Artifact) error {
+	data, err := Encode(a)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".dia-*")
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), s.Path(a.Key))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact: %w", werr)
+	}
+	return nil
+}

@@ -136,6 +136,7 @@ type BenchReport struct {
 	Covert         []adversary.CovertEstimate `json:"covert"`
 	Perf           PerfReport                 `json:"perf"`
 	Shaping        *ShapingReport             `json:"shaping,omitempty"`
+	Gateway        *GatewayReport             `json:"gateway,omitempty"`
 }
 
 // RunAdversary executes the full standing-adversary evaluation.
@@ -445,6 +446,35 @@ func (r *BenchReport) Validate() error {
 	if _, err := time.Parse(time.RFC3339, r.Created); err != nil {
 		return fmt.Errorf("bench: created %q: %w", r.Created, err)
 	}
+	// A report carries the adversary evaluation, a gateway workload, or
+	// both; a report with neither documents nothing.
+	hasAdversary := len(r.Distinguishers) > 0 || r.Mutation.Total != 0 || len(r.Covert) > 0
+	if !hasAdversary && r.Gateway == nil {
+		return fmt.Errorf("bench: report has neither adversary nor gateway sections")
+	}
+	if hasAdversary {
+		if err := r.validateAdversary(); err != nil {
+			return err
+		}
+	}
+	if g := r.Gateway; g != nil {
+		if g.Sessions <= 0 || g.Backends <= 0 || g.Cycles <= 0 {
+			return fmt.Errorf("bench: gateway shape missing: %+v", g)
+		}
+		if g.Resumes == 0 || g.MsgsPerSec <= 0 {
+			return fmt.Errorf("bench: gateway workload numbers missing: %+v", g)
+		}
+		if g.ReplayRejected != g.ReplayProbes {
+			return fmt.Errorf("bench: gateway let %d of %d ticket replays through",
+				g.ReplayProbes-g.ReplayRejected, g.ReplayProbes)
+		}
+	}
+	return nil
+}
+
+// validateAdversary checks the adversary-evaluation sections of the
+// report.
+func (r *BenchReport) validateAdversary() error {
 	if len(r.Distinguishers) == 0 {
 		return fmt.Errorf("bench: no distinguisher results")
 	}
@@ -497,6 +527,9 @@ func (r *BenchReport) WriteJSON(dir string) (string, error) {
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
 	path := filepath.Join(dir, "BENCH_"+r.RunID+".json")

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 
+	"protoobf/internal/artifact"
 	"protoobf/internal/graph"
 	"protoobf/internal/lru"
 	"protoobf/internal/metrics"
@@ -57,6 +58,15 @@ type Rotation struct {
 	opts   ObfuscationOptions
 
 	cache *lru.Sharded[versionKey, *Protocol]
+
+	// art, when non-nil, is the serialized-artifact store behind the
+	// compiled-version cache: misses try a store load before compiling,
+	// and fresh compiles are persisted for other processes (see
+	// NewRotationStore). artDigest keys this rotation's artifacts;
+	// orig is the once-parsed plain graph restored Protocols share.
+	art       *artifact.Store
+	artDigest [32]byte
+	orig      *graph.Graph
 
 	// flight deduplicates concurrent compiles of the same version: at an
 	// epoch boundary every session of the family misses the cache at
@@ -421,6 +431,20 @@ func (r *Rotation) versionFor(family int64, epoch uint64, prefetch bool) (p *Pro
 	r.flight[k] = c
 	r.flightMu.Unlock()
 
+	// A store hit is not a compile: the work happened in another
+	// process (or a previous life of this one), so DemandCompiles
+	// stays untouched and only ArtifactLoads moves.
+	if r.art != nil {
+		if ap, ok := r.loadArtifact(k); ok {
+			r.cache.Put(k, ap)
+			c.p, c.err = ap, nil
+			r.flightMu.Lock()
+			delete(r.flight, k)
+			r.flightMu.Unlock()
+			close(c.done)
+			return ap, false, nil
+		}
+	}
 	opts := r.opts
 	opts.Seed = deriveSeed(family, epoch)
 	r.stats.Compiles.Add(1)
@@ -433,6 +457,9 @@ func (r *Rotation) versionFor(family int64, epoch uint64, prefetch bool) (p *Pro
 		err = fmt.Errorf("rotation epoch %d: %w", epoch, err)
 	} else {
 		r.cache.Put(k, p)
+		if r.art != nil {
+			r.saveArtifact(k, p)
+		}
 	}
 	c.p, c.err = p, err
 

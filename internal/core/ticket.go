@@ -119,6 +119,10 @@ func OpenTicket(secret int64, ticket []byte) ([]byte, error) {
 	nonce := ticket[:ticketNonceLen]
 	masked := ticket[ticketNonceLen : len(ticket)-ticketTagLen]
 	tag := ticket[len(ticket)-ticketTagLen:]
+	// Constant-time tag comparison: hmac.Equal is subtle.ConstantTimeCompare
+	// under the hood, so an attacker iterating forged tags learns nothing
+	// from rejection timing about how many prefix bytes matched. Do not
+	// replace with bytes.Equal.
 	if !hmac.Equal(tag, ticketTag(key, nonce, masked)) {
 		return nil, ErrTicketInvalid
 	}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestTicketRoundTrip(t *testing.T) {
+	plain := []byte("epoch and lineage state")
+	ticket, err := SealTicket(53, plain)
+	if err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	got, err := OpenTicket(53, ticket)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Fatalf("opened %q, want %q", got, plain)
+	}
+}
+
+// Forged-tag rejection must hold for a flip anywhere in the ticket: the
+// tag itself (the constant-time compare's direct input), the nonce, and
+// the masked body (both covered by the tag).
+func TestOpenTicketRejectsEveryFlippedByte(t *testing.T) {
+	ticket, err := SealTicket(53, []byte("state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ticket {
+		bad := append([]byte(nil), ticket...)
+		bad[i] ^= 0x01
+		if _, err := OpenTicket(53, bad); !errors.Is(err, ErrTicketInvalid) {
+			t.Fatalf("byte %d flipped: got %v, want ErrTicketInvalid", i, err)
+		}
+	}
+}
+
+func TestOpenTicketRejectsWrongSeed(t *testing.T) {
+	ticket, err := SealTicket(53, []byte("state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTicket(54, ticket); !errors.Is(err, ErrTicketInvalid) {
+		t.Fatalf("wrong seed: got %v, want ErrTicketInvalid", err)
+	}
+}
+
+func TestOpenTicketRejectsBadLengths(t *testing.T) {
+	for _, n := range []int{0, 1, ticketOverhead - 1, maxTicketLen + 1} {
+		if _, err := OpenTicket(53, make([]byte, n)); !errors.Is(err, ErrTicketInvalid) {
+			t.Fatalf("%d bytes: got %v, want ErrTicketInvalid", n, err)
+		}
+	}
+}
+
+func TestSealTicketRejectsOversizedState(t *testing.T) {
+	if _, err := SealTicket(53, make([]byte, maxTicketLen)); err == nil {
+		t.Fatal("sealed a state larger than any admissible ticket")
+	}
+}
+
+// Tickets must not leak their plaintext: sealing the same state twice
+// yields unrelated bytes (fresh nonce, fresh keystream).
+func TestSealTicketMasksState(t *testing.T) {
+	plain := []byte("the same state twice")
+	a, err := SealTicket(53, append([]byte(nil), plain...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SealTicket(53, append([]byte(nil), plain...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of the same state are identical")
+	}
+	if bytes.Contains(a, plain) {
+		t.Fatal("sealed ticket contains the plaintext state")
+	}
+}

@@ -73,11 +73,18 @@ const (
 	// receiver, shaped or not, silently discards it, so a shaped peer can
 	// talk to an unmodified one without breaking it.
 	KindCover = 0x05
+	// KindTicket pushes a freshly re-issued resumption ticket to the
+	// peer: after a rekey invalidates the ticket a migrated session left
+	// with, the acceptor exports a new one in-band so the session can
+	// migrate again. The payload is a sealed ticket; the receiver
+	// verifies it under its own dialect family before storing it (see
+	// internal/session) and rejects anything that does not open.
+	KindTicket = 0x06
 	// KindMax is the highest assigned frame kind. Kinds above it are
 	// unassigned: the session layer rejects them with a counted reason
 	// rather than guessing, so a future kind cannot be silently eaten by
 	// old peers and a corrupted kind byte is surfaced, not resynced over.
-	KindMax = KindCover
+	KindMax = KindTicket
 )
 
 // bufPool recycles payload buffers between reads and serializations. It

@@ -1,0 +1,146 @@
+// Package gateway implements the multi-process obfuscation gateway: a
+// front process that accepts raw byte streams, peeks the one control
+// frame a protoobf stream leads with, and routes the connection to a
+// backend process from a registry — fresh sessions to any warm backend,
+// resuming sessions to the backend that owns (or can load from the
+// artifact cache) their dialect family. The gateway never decodes
+// payload traffic: after routing it splices bytes. Combined with the
+// fleet-wide ticket replay cache it is the deployment shape where a
+// dialect family outlives any single process.
+package gateway
+
+import (
+	"fmt"
+	"sync"
+
+	"protoobf/internal/lru"
+)
+
+// Backend names one routable backend process.
+type Backend struct {
+	// Name is the stable identity used in the owner map; it survives
+	// address changes (a restarted backend re-registers its new addr
+	// under the old name and inherits its families).
+	Name string
+	// Addr is the TCP address the gateway dials, host:port.
+	Addr string
+}
+
+// defaultOwnerCap bounds the family->backend owner map: beyond it the
+// least recently routed families age out and fall back to fresh
+// placement, which is correct (any backend can load the family from
+// the shared artifact cache) just less warm.
+const defaultOwnerCap = 65536
+
+// Registry is the gateway's routing table: the set of live backends
+// plus a bounded map of which backend last served each rekeyed dialect
+// family. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	backends []Backend
+	byName   map[string]int
+	next     int // round-robin cursor for Pick
+	owners   *lru.Cache[int64, string]
+}
+
+// NewRegistry builds an empty registry. ownerCap bounds the
+// family-owner map (0 means a default of 65536 families).
+func NewRegistry(ownerCap int) *Registry {
+	if ownerCap <= 0 {
+		ownerCap = defaultOwnerCap
+	}
+	return &Registry{
+		byName: make(map[string]int),
+		owners: lru.New[int64, string](ownerCap, nil),
+	}
+}
+
+// Add registers (or re-registers) a backend. Re-registering an
+// existing name updates its address in place — the restart path — and
+// keeps every family it owns.
+func (r *Registry) Add(b Backend) error {
+	if b.Name == "" || b.Addr == "" {
+		return fmt.Errorf("gateway: backend needs name and addr, got %+v", b)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[b.Name]; ok {
+		r.backends[i] = b
+		return nil
+	}
+	r.byName[b.Name] = len(r.backends)
+	r.backends = append(r.backends, b)
+	return nil
+}
+
+// Remove drops a backend by name. Its owned families stay in the owner
+// map until they age out; Owner filters them, so lookups for a removed
+// backend fall back to fresh placement.
+func (r *Registry) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.byName[name]
+	if !ok {
+		return
+	}
+	delete(r.byName, name)
+	r.backends = append(r.backends[:i], r.backends[i+1:]...)
+	for n, j := range r.byName {
+		if j > i {
+			r.byName[n] = j - 1
+		}
+	}
+	if r.next > len(r.backends) {
+		r.next = 0
+	}
+}
+
+// Backends returns a snapshot of the registered backends in
+// registration order.
+func (r *Registry) Backends() []Backend {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Backend, len(r.backends))
+	copy(out, r.backends)
+	return out
+}
+
+// Pick returns the next backend round-robin, false when the registry
+// is empty.
+func (r *Registry) Pick() (Backend, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.backends) == 0 {
+		return Backend{}, false
+	}
+	b := r.backends[r.next%len(r.backends)]
+	r.next = (r.next + 1) % len(r.backends)
+	return b, true
+}
+
+// Claim records that backend name now serves dialect family fam:
+// subsequent resumes of that family route there.
+func (r *Registry) Claim(fam int64, name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; !ok {
+		return
+	}
+	r.owners.Put(fam, name)
+}
+
+// Owner returns the backend owning dialect family fam, if it is still
+// registered.
+func (r *Registry) Owner(fam int64) (Backend, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name, ok := r.owners.Get(fam)
+	if !ok {
+		return Backend{}, false
+	}
+	i, ok := r.byName[name]
+	if !ok {
+		return Backend{}, false
+	}
+	return r.backends[i], true
+}

@@ -32,6 +32,12 @@ func WriteProm(w io.Writer, s Snapshot) error {
 		"Rekey points applied across all session views.", r.Rekeys)
 	p.counter("protoobf_rotation_rekey_rollbacks_total",
 		"Rekey points rolled back after a failed handshake commit.", r.RekeyRollbacks)
+	p.counter("protoobf_artifact_loads_total",
+		"Dialect versions restored from the serialized-artifact store instead of compiled.", r.ArtifactLoads)
+	p.counter("protoobf_artifact_saves_total",
+		"Compiled dialect versions persisted to the artifact store.", r.ArtifactSaves)
+	p.counter("protoobf_artifact_errors_total",
+		"Artifact store loads or saves that failed (the rotation fell back to compiling).", r.ArtifactErrors)
 
 	c := r.Cache
 	p.counter("protoobf_cache_hits_total", "Version cache hits.", c.Hits)
@@ -69,6 +75,7 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	p.labeledStr("protoobf_resume_rejects_total", "reason", "forged", u.RejectedForged)
 	p.labeledStr("protoobf_resume_rejects_total", "reason", "expired", u.RejectedExpired)
 	p.labeledStr("protoobf_resume_rejects_total", "reason", "state", u.RejectedState)
+	p.labeledStr("protoobf_resume_rejects_total", "reason", "replay", u.RejectedReplayed)
 
 	h := s.Shape
 	p.counter("protoobf_shape_frames_total",

@@ -84,6 +84,15 @@ type RotationCounters struct {
 	// RekeyRollbacks counts rekey points dropped again because the
 	// handshake step that should have committed them failed.
 	RekeyRollbacks atomic.Uint64
+	// ArtifactLoads counts versions restored from a serialized-artifact
+	// store instead of compiled — the cross-process compile shares.
+	ArtifactLoads atomic.Uint64
+	// ArtifactSaves counts compiled versions persisted to the store.
+	ArtifactSaves atomic.Uint64
+	// ArtifactErrors counts store loads or saves that failed; the
+	// rotation falls back to compiling, so these cost time, not
+	// correctness.
+	ArtifactErrors atomic.Uint64
 }
 
 // Snapshot copies the counters into a RotationStats (without cache
@@ -100,6 +109,9 @@ func (c *RotationCounters) Snapshot() RotationStats {
 		CompileErrors:    c.CompileErrors.Load(),
 		Rekeys:           c.Rekeys.Load(),
 		RekeyRollbacks:   c.RekeyRollbacks.Load(),
+		ArtifactLoads:    c.ArtifactLoads.Load(),
+		ArtifactSaves:    c.ArtifactSaves.Load(),
+		ArtifactErrors:   c.ArtifactErrors.Load(),
 	}
 }
 
@@ -112,6 +124,9 @@ type RotationStats struct {
 	CompileErrors    uint64
 	Rekeys           uint64
 	RekeyRollbacks   uint64
+	ArtifactLoads    uint64
+	ArtifactSaves    uint64
+	ArtifactErrors   uint64
 	Cache            CacheStats
 }
 
@@ -192,33 +207,39 @@ type ResumeCounters struct {
 	// rekeyed, a second resume on a resumed session, or a versioner
 	// without ticket support.
 	RejectedState atomic.Uint64
+	// RejectedReplayed counts authentic tickets turned away because a
+	// replay cache had already seen them — tickets are single-use once
+	// an endpoint (or fleet) enables the cache.
+	RejectedReplayed atomic.Uint64
 }
 
 // Snapshot copies the counters into a ResumeStats.
 func (c *ResumeCounters) Snapshot() ResumeStats {
 	return ResumeStats{
-		TicketsIssued:   c.TicketsIssued.Load(),
-		Accepts:         c.Accepts.Load(),
-		RejectedForged:  c.RejectedForged.Load(),
-		RejectedExpired: c.RejectedExpired.Load(),
-		RejectedState:   c.RejectedState.Load(),
+		TicketsIssued:    c.TicketsIssued.Load(),
+		Accepts:          c.Accepts.Load(),
+		RejectedForged:   c.RejectedForged.Load(),
+		RejectedExpired:  c.RejectedExpired.Load(),
+		RejectedState:    c.RejectedState.Load(),
+		RejectedReplayed: c.RejectedReplayed.Load(),
 	}
 }
 
 // ResumeStats is one endpoint's session-migration activity at snapshot
 // time.
 type ResumeStats struct {
-	TicketsIssued   uint64
-	Accepts         uint64
-	RejectedForged  uint64
-	RejectedExpired uint64
-	RejectedState   uint64
+	TicketsIssued    uint64
+	Accepts          uint64
+	RejectedForged   uint64
+	RejectedExpired  uint64
+	RejectedState    uint64
+	RejectedReplayed uint64
 }
 
 // Rejects returns the total resume attempts turned away, across every
 // rejection reason.
 func (s ResumeStats) Rejects() uint64 {
-	return s.RejectedForged + s.RejectedExpired + s.RejectedState
+	return s.RejectedForged + s.RejectedExpired + s.RejectedState + s.RejectedReplayed
 }
 
 // ShapeCounters counts the traffic-shaping layer's activity on one
@@ -297,6 +318,8 @@ func (s Snapshot) String() string {
 	r := s.Rotation
 	fmt.Fprintf(&sb, "rotation: compiles=%d (demand=%d prefetch=%d) dedup=%d errors=%d rekeys=%d rollbacks=%d\n",
 		r.Compiles, r.DemandCompiles(), r.PrefetchCompiles, r.CompileDedup, r.CompileErrors, r.Rekeys, r.RekeyRollbacks)
+	fmt.Fprintf(&sb, "artifact: loads=%d saves=%d errors=%d\n",
+		r.ArtifactLoads, r.ArtifactSaves, r.ArtifactErrors)
 	c := r.Cache
 	fmt.Fprintf(&sb, "cache:    hits=%d misses=%d evictions=%d hit-rate=%.3f len=%d cap=%d shards=%d\n",
 		c.Hits, c.Misses, c.Evictions, c.HitRate(), c.Len, c.Cap, c.Shards)
@@ -304,8 +327,8 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&sb, "prefetch: cycles=%d lead=%d (compiled=%d warm=%d) late=%d errors=%d\n",
 		p.Cycles, p.Lead(), p.Compiled, p.Warm, p.Late, p.Errors)
 	u := s.Resume
-	fmt.Fprintf(&sb, "resume:   tickets=%d accepts=%d rejects=%d (forged=%d expired=%d state=%d)\n",
-		u.TicketsIssued, u.Accepts, u.Rejects(), u.RejectedForged, u.RejectedExpired, u.RejectedState)
+	fmt.Fprintf(&sb, "resume:   tickets=%d accepts=%d rejects=%d (forged=%d expired=%d state=%d replay=%d)\n",
+		u.TicketsIssued, u.Accepts, u.Rejects(), u.RejectedForged, u.RejectedExpired, u.RejectedState, u.RejectedReplayed)
 	h := s.Shape
 	fmt.Fprintf(&sb, "shape:    frames=%d frags=%d pad=%dB delay=%dms covers sent=%d dropped=%d rejects (unshape=%d kind=%d)\n",
 		h.ShapedFrames, h.Fragments, h.PadBytes, h.DelayNanos/1e6, h.CoverSent, h.CoverDropped, h.UnshapeRejects, h.UnknownKindRejects)

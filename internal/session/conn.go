@@ -159,6 +159,24 @@ type Options struct {
 	// honored even without Shape: an unshaped session still counts
 	// covers it discards and unknown frame kinds it rejects.
 	ShapeStats *metrics.ShapeCounters
+
+	// Replay, when non-nil, makes resumption tickets single-use on the
+	// acceptor side: handleResume consults the cache after the ticket
+	// verifies, and a ticket seen before — by any session sharing the
+	// cache — is refused with a counted replay reject. Endpoints share
+	// one cache across their sessions; a gateway shares one across a
+	// fleet.
+	Replay *ReplayCache
+
+	// ReissueTickets, when set, pushes a freshly exported resumption
+	// ticket to the peer (a frame.KindTicket control frame) after every
+	// committed rekey and after accepting a resume. With single-use
+	// tickets this is what keeps a session migratable: the ticket it
+	// presented is spent, and a later rekey would invalidate the old
+	// lineage anyway, so the acceptor re-arms the peer with a current
+	// one. Requires a Versioner that can export tickets (TicketSealer +
+	// Lineage).
+	ReissueTickets bool
 }
 
 // Conn is an obfuscated message session over a byte stream: Send
@@ -210,6 +228,14 @@ type Conn struct {
 	resumed     bool
 	await       *resumeAwait
 	resumeDrops int
+
+	// replay is the shared single-use ticket cache (nil = replays
+	// admitted, the pre-fleet behavior); reissue enables in-band ticket
+	// re-issue; peerTicket (guarded by mu) is the latest verified
+	// ticket the peer pushed, retrievable via StoredTicket.
+	replay     *ReplayCache
+	reissue    bool
+	peerTicket []byte
 
 	smu  sync.Mutex // serializes Send's buffer reuse
 	wbuf []byte
@@ -332,6 +358,8 @@ func newConn(rw io.ReadWriter, versions Versioner, opts Options) *Conn {
 		cacheWindow:     window,
 		resumeWindow:    resumeWindow,
 		resumeStats:     opts.ResumeStats,
+		replay:          opts.Replay,
+		reissue:         opts.ReissueTickets,
 		byGraph:         make(map[*graph.Graph]uint64),
 		mrng:            rng.New(0x5e5510),
 		wbuf:            frame.GetBuffer(),
@@ -822,6 +850,8 @@ func (c *Conn) handleControl(kind byte, hdrEpoch uint64, payload []byte) error {
 		return c.handleResume(hdrEpoch, payload)
 	case frame.KindResumeAck:
 		return c.handleResumeAck(hdrEpoch, payload)
+	case frame.KindTicket:
+		return c.handleTicket(payload)
 	case frame.KindCover:
 		// Cover traffic is chaff by contract: count it and keep reading.
 		// Every session discards covers — shaped or not, resuming or not —
@@ -912,7 +942,12 @@ func (c *Conn) handlePropose(from uint64, seed int64) error {
 	c.mu.Lock()
 	c.rekeyBase = c.bytesMoved.Load()
 	c.mu.Unlock()
-	return c.Advance(from)
+	if err := c.Advance(from); err != nil {
+		return err
+	}
+	// The rekey invalidated any ticket the peer was holding (its
+	// lineage predates the new family): re-arm it with a current one.
+	return c.maybeReissue()
 }
 
 // handleAck completes our own proposal — pending, or abandoned by the
@@ -935,7 +970,12 @@ func (c *Conn) handleAck(from uint64, seed int64) error {
 	if err := c.applyRekey(from, seed); err != nil {
 		return err
 	}
-	return c.Advance(from)
+	if err := c.Advance(from); err != nil {
+		return err
+	}
+	// Same as handlePropose: the committed rekey spent the peer's old
+	// ticket lineage, so push a fresh one if re-issue is on.
+	return c.maybeReissue()
 }
 
 // applyRekey records the family switch in the Versioner and drops cached

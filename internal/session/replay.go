@@ -1,0 +1,63 @@
+package session
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"protoobf/internal/lru"
+)
+
+// DefaultReplayWindow is the default capacity of a ticket replay cache:
+// how many recently seen tickets it remembers. Sized to cover every
+// ticket a busy endpoint could plausibly see inside the resume window;
+// beyond it the oldest entries age out (after which an ancient ticket
+// would anyway fail the resume window's epoch bounds).
+const DefaultReplayWindow = 4096
+
+// ReplayCache makes resumption tickets single-use: the acceptor path
+// consults it after a ticket verifies, and a ticket that was already
+// presented — to any session sharing the cache — is refused with a
+// counted `replay` reason. One cache per endpoint closes the
+// single-process replay gap; a routing gateway holds one per fleet so
+// a captured ticket cannot be replayed against a different backend
+// than the one that first honored it.
+//
+// Entries key on a digest of the whole ticket (nonce, masked state and
+// seal tag alike), so two distinct tickets for the same session state
+// are distinct entries — re-issue after rekey mints a new ticket, which
+// gets its own single use.
+type ReplayCache struct {
+	mu   sync.Mutex
+	seen *lru.Cache[[16]byte, struct{}]
+}
+
+// NewReplayCache builds a replay cache remembering up to capacity
+// tickets (capacity <= 0 means DefaultReplayWindow).
+func NewReplayCache(capacity int) *ReplayCache {
+	if capacity <= 0 {
+		capacity = DefaultReplayWindow
+	}
+	return &ReplayCache{seen: lru.New[[16]byte, struct{}](capacity, nil)}
+}
+
+// Witness records the ticket as seen and reports whether it had been
+// seen before — true means replay.
+func (rc *ReplayCache) Witness(ticket []byte) bool {
+	sum := sha256.Sum256(ticket)
+	var k [16]byte
+	copy(k[:], sum[:])
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if _, ok := rc.seen.Get(k); ok {
+		return true
+	}
+	rc.seen.Put(k, struct{}{})
+	return false
+}
+
+// Len reports how many distinct tickets the cache currently remembers.
+func (rc *ReplayCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.seen.Len()
+}

@@ -38,10 +38,13 @@ import (
 const (
 	// DefaultResumeWindow is how many epochs behind the acceptor's
 	// current horizon a resumption ticket's epoch may lie before it is
-	// rejected as expired. It doubles as the replay lifetime of a ticket:
-	// within the window a captured ticket could re-attach (and learn
-	// nothing beyond what its thief already had — the ticket is sealed),
-	// after it the ticket is dead. Options.ResumeWindow overrides it.
+	// rejected as expired. Without a replay cache it doubles as the
+	// replay lifetime of a ticket: within the window a captured ticket
+	// could re-attach (and learn nothing beyond what its thief already
+	// had — the ticket is sealed), after it the ticket is dead. With
+	// Options.Replay set, tickets are single-use and the window only
+	// bounds how stale a first presentation may be.
+	// Options.ResumeWindow overrides it.
 	DefaultResumeWindow = 64
 
 	// resumeStateMagic guards the sealed state encoding ("res1"); it is
@@ -422,6 +425,16 @@ func (c *Conn) handleResume(hdrEpoch uint64, ticket []byte) error {
 		}
 		return fmt.Errorf("session: resume header epoch %d contradicts sealed epoch %d", hdrEpoch, st.epoch)
 	}
+	// Replay gate, after authenticity (so garbage cannot pollute the
+	// cache) and before any state is adopted. Witness marks the ticket
+	// seen even though nothing was admitted yet: a presentation IS the
+	// single use, whether or not the rest of the handshake succeeds.
+	if c.replay != nil && c.replay.Witness(ticket) {
+		if s := c.resumeStats; s != nil {
+			s.RejectedReplayed.Add(1)
+		}
+		return errors.New("session: resumption ticket already presented (tickets are single-use)")
+	}
 	if err := lin.ImportRekeys(st.froms, st.seeds); err != nil {
 		if s := c.resumeStats; s != nil {
 			s.RejectedState.Add(1)
@@ -460,7 +473,11 @@ func (c *Conn) handleResume(hdrEpoch uint64, ticket []byte) error {
 	if s := c.resumeStats; s != nil {
 		s.Accepts.Add(1)
 	}
-	return nil
+	// The ticket just presented is spent (single-use under a replay
+	// cache): if re-issue is on, immediately re-arm the peer with a
+	// fresh ticket for its next migration. Stream ordering puts this
+	// after the ack.
+	return c.maybeReissue()
 }
 
 // sendResumeAck writes the acceptance frame: a masked (magic, epoch,
@@ -513,4 +530,100 @@ func (c *Conn) dropPreResumeControl() bool {
 	}
 	c.resumeDrops++
 	return true
+}
+
+// maybeReissue pushes a freshly exported resumption ticket to the peer
+// when Options.ReissueTickets is on — called after a committed rekey
+// (either role) and after accepting a resume, the two events that spend
+// or invalidate whatever ticket the peer held. No-op when re-issue is
+// off; a configuration that enables re-issue on a Versioner that cannot
+// export tickets fails loudly here.
+func (c *Conn) maybeReissue() error {
+	if !c.reissue {
+		return nil
+	}
+	t, err := c.Export()
+	if err != nil {
+		return fmt.Errorf("session: ticket re-issue: %w", err)
+	}
+	return c.t.sendFrameAt(frame.KindTicket, c.t.Epoch(), t)
+}
+
+// handleTicket stores a re-issued resumption ticket the peer pushed
+// in-band. The payload is verified before it is kept — opened under
+// this side's own dialect family and structurally decoded — so a
+// tampered or misdirected frame is a loud error (assigned control kinds
+// reject garbage, they never silently eat it), and StoredTicket only
+// ever returns tickets that would verify on presentation.
+func (c *Conn) handleTicket(payload []byte) error {
+	sealer, ok := c.versions.(TicketSealer)
+	if !ok {
+		return errors.New("session: peer pushed a ticket but versioner cannot open tickets")
+	}
+	plain, err := sealer.OpenResume(payload)
+	if err != nil {
+		return fmt.Errorf("session: re-issued ticket: %w", err)
+	}
+	if _, err := decodeState(plain); err != nil {
+		return fmt.Errorf("session: re-issued ticket: %w", err)
+	}
+	c.mu.Lock()
+	c.peerTicket = append(c.peerTicket[:0], payload...)
+	c.mu.Unlock()
+	return nil
+}
+
+// StoredTicket returns a copy of the most recent verified ticket the
+// peer re-issued in-band (see Options.ReissueTickets), or nil if none
+// arrived yet. After a rekey, this — not the ticket exported before the
+// rekey — is what re-attaches the session on its next migration.
+func (c *Conn) StoredTicket() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.peerTicket) == 0 {
+		return nil
+	}
+	return append([]byte(nil), c.peerTicket...)
+}
+
+// TicketOpener is the narrow slice of TicketSealer a routing frontend
+// needs: verify and open a sealed ticket without minting a session.
+// core.View implements it.
+type TicketOpener interface {
+	OpenResume(ticket []byte) ([]byte, error)
+}
+
+// TicketInfo is the routing-relevant summary of a verified resumption
+// ticket.
+type TicketInfo struct {
+	// Epoch is the epoch the session exported the ticket at.
+	Epoch uint64
+	// Rekeyed reports whether the ticket carries a rekey lineage.
+	Rekeyed bool
+	// Family is the master seed of the dialect family the session
+	// speaks from its last rekey boundary onward — the unit of routing
+	// affinity. Zero (and meaningless) when Rekeyed is false: an
+	// un-rekeyed session speaks the base family the opener itself was
+	// built from.
+	Family int64
+}
+
+// InspectTicket verifies a ticket with o and returns its routing
+// summary without adopting any of its state — how a gateway decides
+// which backend owns the session a KindResume frame re-attaches.
+func InspectTicket(o TicketOpener, ticket []byte) (TicketInfo, error) {
+	plain, err := o.OpenResume(ticket)
+	if err != nil {
+		return TicketInfo{}, err
+	}
+	st, err := decodeState(plain)
+	if err != nil {
+		return TicketInfo{}, err
+	}
+	info := TicketInfo{Epoch: st.epoch}
+	if n := len(st.seeds); n > 0 {
+		info.Rekeyed = true
+		info.Family = st.seeds[n-1]
+	}
+	return info, nil
 }
