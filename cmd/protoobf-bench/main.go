@@ -91,6 +91,7 @@ func run(ctx context.Context, args []string) error {
 	endpointWL := fs.Bool("endpoint", false, "run the many-sessions-one-family endpoint workload")
 	migrateWL := fs.Bool("migrate", false, "run the kill-and-resume session migration workload")
 	gatewayWL := fs.Bool("gateway", false, "run the multi-process gateway fleet-migration workload and emit BENCH_<runid>.json")
+	udpWL := fs.Bool("udp", false, "run the datagram workload (lossy packet link, batch fast path, loopback UDP) and fail on decode crashes or nonzero zero-overhead data bytes")
 	inproc := fs.Bool("inproc", false, "with -gateway: run the backends as goroutines instead of child processes")
 	backendsN := fs.Int("backends", 2, "backend processes in the gateway workload")
 	gatewayBackend := fs.String("gateway-backend", "", "internal: serve one backend of the -gateway workload (JSON config)")
@@ -162,6 +163,47 @@ func run(ctx context.Context, args []string) error {
 		if res.Report.WarmDemandCompiles > 0 {
 			return fmt.Errorf("warm fleet compiled %d dialects on demand — the artifact cache should have answered them (see %s)",
 				res.Report.WarmDemandCompiles, path)
+		}
+		return nil
+	}
+
+	if *udpWL {
+		dcfg := bench.DatagramConfig{Seed: *seed}
+		if explicit["msgs"] {
+			dcfg.Msgs = *msgs
+		}
+		res, err := bench.RunDatagram(ctx, dcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
+		created := time.Now().UTC()
+		id := *runID
+		if id == "" {
+			id = created.Format("20060102T150405Z")
+		}
+		rep := &bench.BenchReport{
+			Schema:   bench.BenchSchema,
+			RunID:    id,
+			Created:  created.Format(time.RFC3339),
+			Go:       runtime.Version(),
+			Seed:     *seed,
+			PerNode:  res.Config.PerNode,
+			Datagram: &res.Report,
+		}
+		path, err := rep.WriteJSON(*outDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		if c := res.Report.Crashes(); c > 0 {
+			return fmt.Errorf("datagram workload crashed the receiver %d times (see %s)", c, path)
+		}
+		if bad := res.Report.ZeroOverheadViolations(); len(bad) > 0 {
+			for _, l := range bad {
+				fmt.Fprintf(os.Stderr, "zero-overhead %s leg added %d framing bytes to data packets\n", l.Transport, l.DataOverheadBytes)
+			}
+			return fmt.Errorf("zero-overhead mode added framing bytes (see %s)", path)
 		}
 		return nil
 	}

@@ -1,0 +1,220 @@
+package protoobf_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"protoobf"
+)
+
+func packetEndpoints(t *testing.T) (*protoobf.Endpoint, *protoobf.Endpoint) {
+	t.Helper()
+	opts := protoobf.Options{PerNode: 2, Seed: 0xD6}
+	a, err := protoobf.NewEndpoint(beaconSpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := protoobf.NewEndpoint(beaconSpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// TestPacketSessionPipe drives the public packet surface over the
+// in-memory pair in both modes, checking the endpoint's aggregated
+// datagram metrics along the way.
+func TestPacketSessionPipe(t *testing.T) {
+	for _, zo := range []bool{false, true} {
+		t.Run(fmt.Sprintf("zeroOverhead=%v", zo), func(t *testing.T) {
+			epA, epB := packetEndpoints(t)
+			ca, cb := protoobf.PacketPipe()
+			a, err := epA.PacketSession(ca, protoobf.WithZeroOverhead(zo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := epB.PacketSession(cb, protoobf.WithZeroOverhead(zo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := uint64(1); i <= 5; i++ {
+				m, err := a.NewMessage()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := m.Scope().SetUint("seqno", i); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.Scope().SetBytes("note", []byte("dgram")); err != nil {
+					t.Fatal(err)
+				}
+				if err := a.Send(m); err != nil {
+					t.Fatal(err)
+				}
+				got, err := b.Recv()
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq, err := got.Scope().GetUint("seqno")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seq != i {
+					t.Fatalf("seqno = %d, want %d", seq, i)
+				}
+			}
+			// Rekey mid-session and keep talking under the new family.
+			if _, err := a.Rekey(0xBEEF); err != nil {
+				t.Fatal(err)
+			}
+			m, err := a.NewMessage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Scope().SetUint("seqno", 6); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Scope().SetBytes("note", []byte("rekeyed")); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Send(m); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Recv(); err != nil {
+				t.Fatal(err)
+			}
+			ms := epA.Metrics()
+			if ms.Dgram.DataSent != 6 {
+				t.Fatalf("endpoint dgram sent = %d, want 6", ms.Dgram.DataSent)
+			}
+			if zo && ms.Dgram.OverheadBytes() != 0 {
+				t.Fatalf("zero-overhead endpoint reports %d overhead bytes", ms.Dgram.OverheadBytes())
+			}
+			mb := epB.Metrics()
+			if mb.Dgram.RekeysApplied != 1 {
+				t.Fatalf("receiver endpoint rekeys = %d, want 1", mb.Dgram.RekeysApplied)
+			}
+		})
+	}
+}
+
+// TestPacketUDP is the end-to-end UDP loopback exchange: ListenPacket
+// demultiplexes peers by source address, DialPacket connects, and
+// messages cross a real socket in both directions and both modes.
+func TestPacketUDP(t *testing.T) {
+	for _, zo := range []bool{false, true} {
+		t.Run(fmt.Sprintf("zeroOverhead=%v", zo), func(t *testing.T) {
+			epA, epB := packetEndpoints(t)
+			ln, err := epB.ListenPacket("udp", "127.0.0.1:0", protoobf.WithZeroOverhead(zo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			client, err := epA.DialPacket(context.Background(), "udp", ln.Addr().String(), protoobf.WithZeroOverhead(zo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			// First client packet both creates the server session and
+			// must decode on it.
+			m, err := client.NewMessage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Scope().SetUint("seqno", 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Scope().SetBytes("note", []byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			if err := client.Send(m); err != nil {
+				t.Fatal(err)
+			}
+			server, err := ln.Accept()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := server.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if note, err := got.Scope().GetBytes("note"); err != nil || string(note) != "hello" {
+				t.Fatalf("note = %q, err %v", note, err)
+			}
+			// And the return path, through the shared socket.
+			reply, err := server.NewMessage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reply.Scope().SetUint("seqno", 2); err != nil {
+				t.Fatal(err)
+			}
+			if err := reply.Scope().SetBytes("note", []byte("ack")); err != nil {
+				t.Fatal(err)
+			}
+			if err := server.Send(reply); err != nil {
+				t.Fatal(err)
+			}
+			back, err := client.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if note, err := back.Scope().GetBytes("note"); err != nil || string(note) != "ack" {
+				t.Fatalf("reply note = %q, err %v", note, err)
+			}
+		})
+	}
+}
+
+// TestPacketOptionPlacement pins the option discipline both ways:
+// packet-only options are refused in stream-session position, and
+// stream-only options are refused in packet-session position.
+func TestPacketOptionPlacement(t *testing.T) {
+	ep, _ := packetEndpoints(t)
+	ca, cb := protoobf.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	if _, err := ep.Session(ca, protoobf.WithZeroOverhead(true)); err == nil {
+		t.Fatal("stream session accepted WithZeroOverhead")
+	}
+	if _, err := ep.Session(ca, protoobf.WithEpochWindow(8)); err == nil {
+		t.Fatal("stream session accepted WithEpochWindow")
+	}
+	pa, pb := protoobf.PacketPipe()
+	defer pa.Close()
+	defer pb.Close()
+	if _, err := ep.PacketSession(pa, protoobf.WithRekeyEvery(4)); err == nil {
+		t.Fatal("packet session accepted WithRekeyEvery")
+	}
+	if _, err := ep.PacketSession(pa, protoobf.WithShaping(protoobf.DefaultShapeProfile())); err == nil {
+		t.Fatal("packet session accepted WithShaping")
+	}
+	if _, err := ep.PacketSession(pa, protoobf.WithTicketReissue(true)); err == nil {
+		t.Fatal("packet session accepted WithTicketReissue")
+	}
+}
+
+// TestZeroOverheadRefusedOnStatic: static protocols cannot derive the
+// packet pad, so zero-overhead mode must fail loudly, not silently
+// downgrade.
+func TestZeroOverheadRefusedOnStatic(t *testing.T) {
+	proto, err := protoobf.Compile(beaconSpec, protoobf.Options{PerNode: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := protoobf.NewEndpoint("", protoobf.Options{}, protoobf.WithStaticProtocol(proto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := protoobf.PacketPipe()
+	defer pa.Close()
+	defer pb.Close()
+	if _, err := ep.PacketSession(pa, protoobf.WithZeroOverhead(true)); err == nil {
+		t.Fatal("zero-overhead packet session built on a static endpoint")
+	}
+	// Normal mode over a static protocol is fine.
+	if _, err := ep.PacketSession(pa); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -53,6 +53,11 @@ type Endpoint struct {
 	// session this endpoint mints: frames morphed, pad and delay
 	// overhead, cover frames sent and discarded, receive-side rejects.
 	shapeStats metrics.ShapeCounters
+
+	// dgramStats aggregates the packet-session activity of every
+	// PacketSession this endpoint mints: packets moved, epoch-window
+	// rejects, idempotent-rekey bookkeeping, framing overhead.
+	dgramStats metrics.DgramCounters
 }
 
 // settings carries the control-plane configuration shared by endpoint
@@ -75,6 +80,9 @@ type settings struct {
 	artifactDir     string
 	replayWindow    *int
 	reissue         *bool
+	epochWindow     *uint64
+	zeroOverhead    *bool
+	maxPacket       *int
 }
 
 // Option is a functional option accepted by both NewEndpoint and
@@ -295,6 +303,9 @@ func (ep *Endpoint) sessionConfig(o []SessionOption) (settings, error) {
 	}
 	if cfg.replayWindow != ep.base.replayWindow {
 		return cfg, errors.New("protoobf: WithTicketReplayWindow is endpoint-level; pass it to NewEndpoint")
+	}
+	if cfg.epochWindow != ep.base.epochWindow || cfg.zeroOverhead != ep.base.zeroOverhead || cfg.maxPacket != ep.base.maxPacket {
+		return cfg, errors.New("protoobf: WithEpochWindow/WithZeroOverhead/WithMaxPacket configure packet sessions; pass them to PacketSession, DialPacket or ListenPacket")
 	}
 	return cfg, nil
 }

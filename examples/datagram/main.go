@@ -1,0 +1,181 @@
+// Packet sessions in both wire modes. Part one soaks a session pair
+// through a deliberately hostile in-memory packet link — 5% loss,
+// duplication, adjacent reordering — with a rekey burst mid-stream,
+// and shows the property streams cannot give: every surviving packet
+// decodes on its own, so loss costs exactly the lost packets and
+// nothing else. Part two is a zero-overhead echo over real loopback
+// UDP: data packets leave as exactly the obfuscated payload, zero
+// added bytes, which the endpoint's own byte counters prove.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+
+	"protoobf"
+	"protoobf/internal/session/dgram"
+)
+
+const spec = `
+protocol beacon;
+root seq msg end {
+    uint  device 2;
+    uint  seqno 4;
+    uint  blen 2;
+    seq body length(blen) {
+        bytes status delim ";" min 1;
+    }
+    bytes sig end;
+}
+`
+
+const msgs = 200
+
+func main() {
+	opts := protoobf.Options{PerNode: 2, Seed: 42}
+	if err := lossyPair(opts); err != nil {
+		log.Fatal(err)
+	}
+	if err := zeroOverheadUDP(opts); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// lossyPair drives a packet session pair across a mutilated link.
+func lossyPair(opts protoobf.Options) error {
+	epA, err := protoobf.NewEndpoint(spec, opts)
+	if err != nil {
+		return err
+	}
+	epB, err := protoobf.NewEndpoint(spec, opts)
+	if err != nil {
+		return err
+	}
+
+	// The in-memory pair has UDP semantics; the lossy wrapper mutilates
+	// the sender's packets deterministically (seeded), so this example
+	// prints the same numbers every run.
+	ca, cb := protoobf.PacketPipe()
+	lossy := dgram.NewLossy(ca, dgram.LossyConfig{LossPct: 5, DupPct: 3, ReorderPct: 10, Seed: 7})
+	sender, err := epA.PacketSession(lossy)
+	if err != nil {
+		return err
+	}
+	receiver, err := epB.PacketSession(cb)
+	if err != nil {
+		return err
+	}
+
+	for i := 0; i < msgs; i++ {
+		// Rekey mid-stream: the proposal goes out as a redundant burst
+		// of idempotent control packets, so the boundary survives the
+		// same loss the data does.
+		if i == msgs/2 {
+			if _, err := sender.Rekey(0xBEEF); err != nil {
+				return err
+			}
+		}
+		if err := send(sender, uint64(i)); err != nil {
+			return err
+		}
+	}
+	lossy.Close() // flush the link; the receiver drains to EOF
+
+	decoded := 0
+	for {
+		if _, err := receiver.Recv(); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return err
+		}
+		decoded++
+	}
+
+	st := receiver.Stats()
+	fmt.Printf("lossy pair: sent %d, link dropped %d / duped %d / reordered %d\n",
+		msgs, lossy.Dropped, lossy.Duped, lossy.Reordered)
+	fmt.Printf("            decoded %d, rekeys applied %d (redundant copies discarded %d), rejects %d\n",
+		decoded, st.RekeysApplied, st.RekeyDups, st.Rejects())
+	return nil
+}
+
+// zeroOverheadUDP echoes one message over loopback UDP with data
+// packets stripped to the bare obfuscated payload.
+func zeroOverheadUDP(opts protoobf.Options) error {
+	epSrv, err := protoobf.NewEndpoint(spec, opts)
+	if err != nil {
+		return err
+	}
+	epCli, err := protoobf.NewEndpoint(spec, opts)
+	if err != nil {
+		return err
+	}
+
+	ln, err := epSrv.ListenPacket("udp", "127.0.0.1:0", protoobf.WithZeroOverhead(true))
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	client, err := epCli.DialPacket(context.Background(), "udp", ln.Addr().String(),
+		protoobf.WithZeroOverhead(true))
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// The client's first packet both creates the server-side session
+	// (ListenPacket demultiplexes peers by source address) and decodes
+	// on it; the reply crosses back through the shared socket.
+	if err := send(client, 1); err != nil {
+		return err
+	}
+	server, err := ln.Accept()
+	if err != nil {
+		return err
+	}
+	if _, err := server.Recv(); err != nil {
+		return err
+	}
+	if err := send(server, 2); err != nil {
+		return err
+	}
+	if _, err := client.Recv(); err != nil {
+		return err
+	}
+
+	// The proof, not the promise: wire bytes minus payload bytes on
+	// data packets is the framing the session added — 12 per packet in
+	// normal mode, exactly 0 here.
+	d := epCli.Metrics().Dgram
+	fmt.Printf("zero-overhead UDP: %d data packets, %d wire bytes, %d payload bytes, overhead %d bytes\n",
+		d.DataSent, d.DataWireBytes, d.DataPayloadBytes, d.OverheadBytes())
+	if d.OverheadBytes() != 0 {
+		return fmt.Errorf("zero-overhead mode added %d bytes", d.OverheadBytes())
+	}
+	return nil
+}
+
+// send builds and ships one beacon message on c.
+func send(c *protoobf.PacketSession, seq uint64) error {
+	m, err := c.NewMessage()
+	if err != nil {
+		return err
+	}
+	s := m.Scope()
+	if err := s.SetUint("device", 9); err != nil {
+		return err
+	}
+	if err := s.SetUint("seqno", seq); err != nil {
+		return err
+	}
+	if err := s.SetBytes("status", []byte("ok")); err != nil {
+		return err
+	}
+	if err := s.SetBytes("sig", nil); err != nil {
+		return err
+	}
+	return c.Send(m)
+}

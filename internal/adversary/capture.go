@@ -153,8 +153,17 @@ type CaptureConfig struct {
 	// morphing, MTU splitting and departure pacing, all on the capture
 	// clock (the shaper's sleeps advance it), so shaped captures stay
 	// exactly as deterministic as unshaped ones. This is the
-	// countermeasure the distinguisher gate evaluates.
+	// countermeasure the distinguisher gate evaluates. Stream captures
+	// only.
 	Shape *protoobf.ShapeProfile
+	// Datagram captures packet-session traffic instead of stream
+	// traffic: one packet per frame, tapped at packet granularity (the
+	// datagram observer's natural view).
+	Datagram bool
+	// ZeroOverhead selects zero-overhead data packets for a datagram
+	// capture — what the observer sees when even the framing header is
+	// gone. Ignored for stream captures.
+	ZeroOverhead bool
 }
 
 // Capture runs a live Endpoint session pair over an in-memory duplex,
@@ -170,6 +179,12 @@ func Capture(cfg CaptureConfig) (*Trace, error) {
 	}
 	if cfg.Gap == nil {
 		cfg.Gap = func(int) time.Duration { return time.Millisecond }
+	}
+	if cfg.Datagram {
+		if cfg.Shape != nil {
+			return nil, fmt.Errorf("adversary: shaping is a stream-session countermeasure; datagram captures cannot shape")
+		}
+		return captureDatagram(cfg)
 	}
 
 	genesis := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)

@@ -137,6 +137,7 @@ type BenchReport struct {
 	Perf           PerfReport                 `json:"perf"`
 	Shaping        *ShapingReport             `json:"shaping,omitempty"`
 	Gateway        *GatewayReport             `json:"gateway,omitempty"`
+	Datagram       *DatagramReport            `json:"datagram,omitempty"`
 }
 
 // RunAdversary executes the full standing-adversary evaluation.
@@ -446,11 +447,12 @@ func (r *BenchReport) Validate() error {
 	if _, err := time.Parse(time.RFC3339, r.Created); err != nil {
 		return fmt.Errorf("bench: created %q: %w", r.Created, err)
 	}
-	// A report carries the adversary evaluation, a gateway workload, or
-	// both; a report with neither documents nothing.
+	// A report carries the adversary evaluation, a gateway workload, a
+	// datagram workload, or any mix; a report with none documents
+	// nothing.
 	hasAdversary := len(r.Distinguishers) > 0 || r.Mutation.Total != 0 || len(r.Covert) > 0
-	if !hasAdversary && r.Gateway == nil {
-		return fmt.Errorf("bench: report has neither adversary nor gateway sections")
+	if !hasAdversary && r.Gateway == nil && r.Datagram == nil {
+		return fmt.Errorf("bench: report has no adversary, gateway or datagram section")
 	}
 	if hasAdversary {
 		if err := r.validateAdversary(); err != nil {
@@ -467,6 +469,34 @@ func (r *BenchReport) Validate() error {
 		if g.ReplayRejected != g.ReplayProbes {
 			return fmt.Errorf("bench: gateway let %d of %d ticket replays through",
 				g.ReplayProbes-g.ReplayRejected, g.ReplayProbes)
+		}
+	}
+	if d := r.Datagram; d != nil {
+		if err := d.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate checks the datagram section is structurally sound. Like the
+// rest of Validate it does not require zero crashes — the CLI gates on
+// those; a report documenting a crash is valid evidence.
+func (d *DatagramReport) validate() error {
+	if len(d.Legs) == 0 {
+		return fmt.Errorf("bench: datagram report has no legs")
+	}
+	for _, l := range d.Legs {
+		if l.Transport == "" || l.Sent <= 0 {
+			return fmt.Errorf("bench: malformed datagram leg %+v", l)
+		}
+	}
+	for _, m := range []adversary.DatagramMutationResult{d.Mutation, d.ZeroOverheadMutation} {
+		if m.Packets == 0 {
+			continue
+		}
+		if m.Decoded+m.Controls+m.Crashes+m.Rejected() != m.Packets {
+			return fmt.Errorf("bench: datagram mutation tallies inconsistent: %+v", m)
 		}
 	}
 	return nil

@@ -394,6 +394,12 @@ func (r *Rotation) ControlPad(epoch uint64, n int) []byte {
 	return r.self.ControlPad(epoch, n)
 }
 
+// PacketPad derives the default view's packet masking pad. See
+// View.PacketPad.
+func (r *Rotation) PacketPad(epoch uint64, n int) []byte {
+	return r.self.PacketPad(epoch, n)
+}
+
 // versionFor returns the compiled version of (family, epoch), serving
 // it from the sharded cache when present. Misses compile outside any
 // cache lock; concurrent misses of the same key share one compile.
@@ -643,6 +649,35 @@ func (v *View) ControlPad(epoch uint64, n int) []byte {
 		binary.BigEndian.PutUint64(msg[16:24], ctr)
 		h := sha256.New()
 		h.Write([]byte("protoobf control pad v1"))
+		h.Write(msg[:])
+		pad = h.Sum(pad)
+	}
+	return pad[:n]
+}
+
+// PacketPad derives the deterministic masking pad the datagram session
+// layer XORs over packet bytes: the zero-overhead mode's structural
+// prefix on data packets, and the whole header+payload of control
+// packets. It is the same SHA-256 stream construction as ControlPad but
+// under its own domain string, so packet masking bytes can never be
+// replayed against the stream layer's control plane (or vice versa) —
+// and, like the dialect derivation, it is keyed by the family active at
+// the epoch, so the pad rotates every epoch and jumps on rekey. The pad
+// of one epoch is static across packets (an EtherGuard-style
+// limitation, documented in docs/DATAGRAM.md): zero added bytes per
+// packet leaves no room for a per-packet nonce.
+func (v *View) PacketPad(epoch uint64, n int) []byte {
+	v.mu.Lock()
+	family := v.familySeedLocked(epoch)
+	v.mu.Unlock()
+	var msg [24]byte
+	binary.BigEndian.PutUint64(msg[0:8], uint64(family))
+	binary.BigEndian.PutUint64(msg[8:16], epoch)
+	pad := make([]byte, 0, (n+sha256.Size-1)/sha256.Size*sha256.Size)
+	for ctr := uint64(0); len(pad) < n; ctr++ {
+		binary.BigEndian.PutUint64(msg[16:24], ctr)
+		h := sha256.New()
+		h.Write([]byte("protoobf packet pad v1"))
 		h.Write(msg[:])
 		pad = h.Sum(pad)
 	}

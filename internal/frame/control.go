@@ -1,0 +1,45 @@
+package frame
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Rekey control payload codec, shared by the stream session layer
+// (internal/session) and the datagram session layer
+// (internal/session/dgram): both conduct the same in-band family-switch
+// handshake, so the payload format lives here with the frame kinds it
+// rides on. The payload is a magic/epoch/seed triple; the magic rejects
+// forged or wrong-family control frames after unmasking with
+// overwhelming probability. Masking (the XOR pad both peers derive from
+// the shared secret) stays a session-layer concern — this codec sees
+// only the unmasked bytes.
+const (
+	// ControlMagic is the constant leading a rekey control payload
+	// ("reky"); a payload that does not unmask to it is rejected.
+	ControlMagic = 0x72656B79
+	// ControlLen is the exact payload size: magic(4) + epoch(8) + seed(8).
+	ControlLen = 20
+)
+
+// EncodeControl fills p (at least ControlLen bytes) with an unmasked
+// rekey control payload proposing the family switch to seed for every
+// epoch >= from.
+func EncodeControl(p []byte, from uint64, seed int64) {
+	binary.BigEndian.PutUint32(p[:4], ControlMagic)
+	binary.BigEndian.PutUint64(p[4:12], from)
+	binary.BigEndian.PutUint64(p[12:ControlLen], uint64(seed))
+}
+
+// DecodeControl parses an unmasked rekey control payload, rejecting a
+// wrong size or a payload whose magic did not survive unmasking (forged,
+// corrupted, or masked under a different dialect family).
+func DecodeControl(p []byte) (from uint64, seed int64, err error) {
+	if len(p) != ControlLen {
+		return 0, 0, fmt.Errorf("frame: control payload of %d bytes, want %d", len(p), ControlLen)
+	}
+	if binary.BigEndian.Uint32(p[:4]) != ControlMagic {
+		return 0, 0, fmt.Errorf("frame: control payload failed unmasking (forged or wrong dialect family)")
+	}
+	return binary.BigEndian.Uint64(p[4:12]), int64(binary.BigEndian.Uint64(p[12:ControlLen])), nil
+}

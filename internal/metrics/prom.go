@@ -94,6 +94,33 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	p.labeledStr("protoobf_shape_rejects_total", "reason", "unshape", h.UnshapeRejects)
 	p.labeledStr("protoobf_shape_rejects_total", "reason", "unknown-kind", h.UnknownKindRejects)
 
+	d := s.Dgram
+	p.counter("protoobf_dgram_data_sent_total",
+		"Datagram data packets sent.", d.DataSent)
+	p.counter("protoobf_dgram_data_recv_total",
+		"Datagram data packets received and decoded.", d.DataRecv)
+	p.counter("protoobf_dgram_zero_overhead_sent_total",
+		"Data packets sent with zero added bytes (zero-overhead mode).", d.ZeroOverheadSent)
+	p.counter("protoobf_dgram_data_wire_bytes_total",
+		"Wire bytes of datagram data packets sent.", d.DataWireBytes)
+	p.counter("protoobf_dgram_data_payload_bytes_total",
+		"Serialized-payload bytes of datagram data packets sent (wire minus payload is framing overhead).", d.DataPayloadBytes)
+	p.counter("protoobf_dgram_control_sent_total",
+		"Datagram control packets sent (rekey proposes, covers).", d.ControlSent)
+	p.counter("protoobf_dgram_cover_sent_total",
+		"Datagram cover (decoy) packets emitted.", d.CoverSent)
+	p.counter("protoobf_dgram_cover_dropped_total",
+		"Datagram cover packets received and silently discarded.", d.CoverDropped)
+	p.counter("protoobf_dgram_rekeys_applied_total",
+		"Datagram rekey control packets that switched the dialect family.", d.RekeysApplied)
+	p.counter("protoobf_dgram_rekey_dups_total",
+		"Redundant or replayed rekey control packets discarded idempotently.", d.RekeyDups)
+	p.header("protoobf_dgram_rejects_total", "Datagram packets rejected, by reason.", "counter")
+	p.labeledStr("protoobf_dgram_rejects_total", "reason", "stale", d.RejectedStale)
+	p.labeledStr("protoobf_dgram_rejects_total", "reason", "future", d.RejectedFuture)
+	p.labeledStr("protoobf_dgram_rejects_total", "reason", "parse", d.RejectedParse)
+	p.labeledStr("protoobf_dgram_rejects_total", "reason", "malformed", d.RejectedMalformed)
+
 	return p.err
 }
 

@@ -300,6 +300,108 @@ type ShapeStats struct {
 	UnknownKindRejects uint64
 }
 
+// DgramCounters counts the datagram session layer's activity on one
+// endpoint: packets moved, control traffic, the epoch-window rejects
+// that replace the stream layer's follow rule, and the idempotent-rekey
+// bookkeeping. The zero value is ready to use.
+type DgramCounters struct {
+	// DataSent counts data packets sent.
+	DataSent atomic.Uint64
+	// DataRecv counts data packets received and decoded.
+	DataRecv atomic.Uint64
+	// ZeroOverheadSent is the subset of DataSent that left with zero
+	// added bytes (zero-overhead mode): the packet on the wire is
+	// exactly the obfuscated payload, prefix-masked in place.
+	ZeroOverheadSent atomic.Uint64
+	// DataWireBytes counts the wire bytes of data packets sent;
+	// DataPayloadBytes counts their serialized-payload bytes. The
+	// difference is the framing overhead the session added — per
+	// packet, 12 in normal mode and exactly 0 in zero-overhead mode,
+	// which is how benches prove the mode's claim instead of assuming
+	// it.
+	DataWireBytes    atomic.Uint64
+	DataPayloadBytes atomic.Uint64
+	// ControlSent counts control packets sent (rekey proposes, covers).
+	ControlSent atomic.Uint64
+	// CoverSent counts cover (decoy) packets emitted.
+	CoverSent atomic.Uint64
+	// CoverDropped counts cover packets received and silently discarded —
+	// every receiver counts these, zero-overhead or not.
+	CoverDropped atomic.Uint64
+	// RekeysApplied counts rekey control packets that switched the
+	// dialect family (the first copy of each redundant burst).
+	RekeysApplied atomic.Uint64
+	// RekeyDups counts redundant or replayed rekey control packets
+	// discarded because their boundary was already applied — the
+	// idempotence that makes lossy-link rekey redundancy safe.
+	RekeyDups atomic.Uint64
+	// RejectedStale counts packets dropped for an epoch more than the
+	// window behind the receive horizon.
+	RejectedStale atomic.Uint64
+	// RejectedFuture counts packets dropped for an epoch more than the
+	// window ahead of the receive horizon.
+	RejectedFuture atomic.Uint64
+	// RejectedParse counts packets whose payload decoded under no
+	// candidate epoch's dialect (corruption, loss-truncation, or a
+	// zero-overhead packet from outside the window).
+	RejectedParse atomic.Uint64
+	// RejectedMalformed counts packets rejected before parsing: short
+	// header, length exceeding the packet, unknown frame kind.
+	RejectedMalformed atomic.Uint64
+}
+
+// Snapshot copies the counters into a DgramStats.
+func (c *DgramCounters) Snapshot() DgramStats {
+	return DgramStats{
+		DataSent:          c.DataSent.Load(),
+		DataRecv:          c.DataRecv.Load(),
+		ZeroOverheadSent:  c.ZeroOverheadSent.Load(),
+		DataWireBytes:     c.DataWireBytes.Load(),
+		DataPayloadBytes:  c.DataPayloadBytes.Load(),
+		ControlSent:       c.ControlSent.Load(),
+		CoverSent:         c.CoverSent.Load(),
+		CoverDropped:      c.CoverDropped.Load(),
+		RekeysApplied:     c.RekeysApplied.Load(),
+		RekeyDups:         c.RekeyDups.Load(),
+		RejectedStale:     c.RejectedStale.Load(),
+		RejectedFuture:    c.RejectedFuture.Load(),
+		RejectedParse:     c.RejectedParse.Load(),
+		RejectedMalformed: c.RejectedMalformed.Load(),
+	}
+}
+
+// DgramStats is one endpoint's datagram-session activity at snapshot
+// time.
+type DgramStats struct {
+	DataSent          uint64
+	DataRecv          uint64
+	ZeroOverheadSent  uint64
+	DataWireBytes     uint64
+	DataPayloadBytes  uint64
+	ControlSent       uint64
+	CoverSent         uint64
+	CoverDropped      uint64
+	RekeysApplied     uint64
+	RekeyDups         uint64
+	RejectedStale     uint64
+	RejectedFuture    uint64
+	RejectedParse     uint64
+	RejectedMalformed uint64
+}
+
+// Rejects returns the total packets turned away, across every reject
+// reason.
+func (s DgramStats) Rejects() uint64 {
+	return s.RejectedStale + s.RejectedFuture + s.RejectedParse + s.RejectedMalformed
+}
+
+// OverheadBytes returns the total framing bytes data packets added on
+// the wire beyond their serialized payloads — 12 per packet in normal
+// mode, 0 in zero-overhead mode.
+func (s DgramStats) OverheadBytes() uint64 {
+	return s.DataWireBytes - s.DataPayloadBytes
+}
+
 // Snapshot is the top-level observability snapshot of one endpoint:
 // its dialect family's compile/cache activity and its prefetch
 // daemon's work. Snapshots are plain values — diff two to measure an
@@ -309,6 +411,7 @@ type Snapshot struct {
 	Prefetch PrefetchStats
 	Resume   ResumeStats
 	Shape    ShapeStats
+	Dgram    DgramStats
 }
 
 // String renders the snapshot as an indented block, the format the
@@ -332,5 +435,9 @@ func (s Snapshot) String() string {
 	h := s.Shape
 	fmt.Fprintf(&sb, "shape:    frames=%d frags=%d pad=%dB delay=%dms covers sent=%d dropped=%d rejects (unshape=%d kind=%d)\n",
 		h.ShapedFrames, h.Fragments, h.PadBytes, h.DelayNanos/1e6, h.CoverSent, h.CoverDropped, h.UnshapeRejects, h.UnknownKindRejects)
+	d := s.Dgram
+	fmt.Fprintf(&sb, "dgram:    data sent=%d (zo=%d overhead=%dB) recv=%d control=%d covers sent=%d dropped=%d rekeys=%d dups=%d rejects=%d (stale=%d future=%d parse=%d malformed=%d)\n",
+		d.DataSent, d.ZeroOverheadSent, d.OverheadBytes(), d.DataRecv, d.ControlSent, d.CoverSent, d.CoverDropped,
+		d.RekeysApplied, d.RekeyDups, d.Rejects(), d.RejectedStale, d.RejectedFuture, d.RejectedParse, d.RejectedMalformed)
 	return sb.String()
 }

@@ -795,12 +795,14 @@ func (c *Conn) maybeVolumeRekey() error {
 	return nil
 }
 
-// Control-frame payload: a masked magic/epoch/seed triple. The magic
-// rejects forged or wrong-family control frames after unmasking with
-// overwhelming probability.
+// Control-frame payload: a masked magic/epoch/seed triple, encoded by
+// the shared codec in internal/frame (the datagram layer conducts the
+// same handshake over packets). The magic rejects forged or
+// wrong-family control frames after unmasking with overwhelming
+// probability.
 const (
-	controlMagic = 0x72656B79 // "reky"
-	controlLen   = 20         // magic(4) + epoch(8) + seed(8)
+	controlMagic = frame.ControlMagic
+	controlLen   = frame.ControlLen
 )
 
 // sendControl writes one masked control frame. The handshake is
@@ -812,9 +814,7 @@ const (
 func (c *Conn) sendControl(kind byte, from uint64, seed int64) error {
 	hdrEpoch := from - 1
 	var p [controlLen]byte
-	binary.BigEndian.PutUint32(p[:4], controlMagic)
-	binary.BigEndian.PutUint64(p[4:12], from)
-	binary.BigEndian.PutUint64(p[12:20], uint64(seed))
+	frame.EncodeControl(p[:], from, seed)
 	c.maskControl(hdrEpoch, p[:])
 	return c.t.sendFrameAt(kind, hdrEpoch, p[:])
 }
@@ -880,11 +880,10 @@ func (c *Conn) handleControl(kind byte, hdrEpoch uint64, payload []byte) error {
 		return fmt.Errorf("session: control frame of %d bytes, want %d", len(payload), controlLen)
 	}
 	c.maskControl(hdrEpoch, payload)
-	if binary.BigEndian.Uint32(payload[:4]) != controlMagic {
-		return errors.New("session: control frame failed unmasking (forged or wrong dialect family)")
+	from, seed, err := frame.DecodeControl(payload)
+	if err != nil {
+		return fmt.Errorf("session: %w", err)
 	}
-	from := binary.BigEndian.Uint64(payload[4:12])
-	seed := int64(binary.BigEndian.Uint64(payload[12:20]))
 	if kind == frame.KindRekeyPropose {
 		return c.handlePropose(from, seed)
 	}

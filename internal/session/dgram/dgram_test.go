@@ -1,0 +1,497 @@
+package dgram
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"protoobf/internal/core"
+	"protoobf/internal/frame"
+	"protoobf/internal/graph"
+	"protoobf/internal/msgtree"
+	"protoobf/internal/rng"
+)
+
+const beaconSpec = `
+protocol beacon;
+root seq msg end {
+    uint  device 2;
+    uint  seqno 4;
+    uint  blen 2;
+    seq body length(blen) {
+        bytes status delim ";" min 1;
+    }
+    bytes sig end;
+}
+`
+
+func buildBeacon(s *msgtree.Scope, r *rng.R, seqno uint64) error {
+	if err := s.SetUint("device", uint64(r.Intn(1<<16))); err != nil {
+		return err
+	}
+	if err := s.SetUint("seqno", seqno); err != nil {
+		return err
+	}
+	if err := s.SetBytes("status", r.PadBytes(1+r.Intn(12))); err != nil {
+		return err
+	}
+	return s.SetBytes("sig", r.Bytes(r.Intn(8)))
+}
+
+func rotation(t *testing.T, seed int64) *core.Rotation {
+	t.Helper()
+	rot, err := core.NewRotation(beaconSpec, core.ObfuscationOptions{PerNode: 2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rot
+}
+
+func testPair(t *testing.T, opts Options) (*Conn, *Conn) {
+	t.Helper()
+	a, b, err := Pair(rotation(t, 0xC0FFEE), rotation(t, 0xC0FFEE), opts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// sendOne composes, sends and returns the snapshot of one message.
+func sendOne(t *testing.T, c *Conn, r *rng.R, seqno uint64) map[string]string {
+	t.Helper()
+	m, err := c.NewMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buildBeacon(m.Scope(), r, seqno); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(m); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	return snap
+}
+
+func recvMatch(t *testing.T, c *Conn, want map[string]string) {
+	t.Helper()
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	have, err := got.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := msgtree.SnapshotsEqual(want, have); diff != "" {
+		t.Fatalf("differential mismatch: %s", diff)
+	}
+}
+
+// TestRoundTrip exercises both modes in both directions across manual
+// epoch advances: each packet decodes by its own epoch tag (or trial),
+// with no stream to follow.
+func TestRoundTrip(t *testing.T) {
+	for _, zo := range []bool{false, true} {
+		t.Run(fmt.Sprintf("zeroOverhead=%v", zo), func(t *testing.T) {
+			a, b := testPair(t, Options{ZeroOverhead: zo})
+			r := rng.New(7)
+			seq := uint64(0)
+			for epoch := uint64(0); epoch < 3; epoch++ {
+				for i := 0; i < 4; i++ {
+					seq++
+					recvMatch(t, b, sendOne(t, a, r, seq))
+					seq++
+					recvMatch(t, a, sendOne(t, b, r, seq))
+				}
+				if err := a.Advance(epoch + 1); err != nil {
+					t.Fatal(err)
+				}
+				if err := b.Advance(epoch + 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := a.Stats().DataSent; got != seq/2 {
+				t.Fatalf("a sent %d data packets, want %d", got, seq/2)
+			}
+			if a.Stats().Rejects()+b.Stats().Rejects() != 0 {
+				t.Fatalf("lossless roundtrip produced rejects: a=%+v b=%+v", a.Stats(), b.Stats())
+			}
+		})
+	}
+}
+
+// TestEpochSkewWithinWindow pins the window rule's accept side: a
+// receiver far ahead still decodes packets up to exactly W epochs
+// behind its horizon, without regressing it.
+func TestEpochSkewWithinWindow(t *testing.T) {
+	a, b := testPair(t, Options{Window: 4})
+	r := rng.New(11)
+	if err := b.Advance(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Advance(6); err != nil { // 10 - 6 = W: last acceptable
+		t.Fatal(err)
+	}
+	recvMatch(t, b, sendOne(t, a, r, 1))
+	if got := b.Horizon(); got != 10 {
+		t.Fatalf("horizon regressed to %d after in-window stale packet", got)
+	}
+	if rej := b.Stats().Rejects(); rej != 0 {
+		t.Fatalf("in-window packet rejected: %d", rej)
+	}
+}
+
+// TestEpochWindowStaleReject is the satellite edge case: a packet from
+// epoch horizon−W−1 is rejected and counted, and the session keeps
+// decoding in-window traffic afterwards.
+func TestEpochWindowStaleReject(t *testing.T) {
+	a, b := testPair(t, Options{Window: 4})
+	r := rng.New(13)
+	if err := b.Advance(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Advance(5); err != nil { // 10 - 5 = W+1: one too old
+		t.Fatal(err)
+	}
+	sendOne(t, a, r, 1) // rejected by b
+	if err := a.Advance(10); err != nil {
+		t.Fatal(err)
+	}
+	recvMatch(t, b, sendOne(t, a, r, 2)) // Recv skips the stale packet
+	s := b.Stats()
+	if s.RejectedStale != 1 {
+		t.Fatalf("stale rejects = %d, want 1 (stats %+v)", s.RejectedStale, s)
+	}
+	if s.DataRecv != 1 {
+		t.Fatalf("data received = %d, want 1", s.DataRecv)
+	}
+}
+
+// sink captures written packets without delivering them anywhere, to
+// hand-feed a receiver's Decode.
+type sink struct{ pkts [][]byte }
+
+func (s *sink) Write(p []byte) (int, error) {
+	s.pkts = append(s.pkts, append([]byte(nil), p...))
+	return len(p), nil
+}
+func (s *sink) Read(p []byte) (int, error) { return 0, io.EOF }
+
+// TestEpochWindowFutureReject pins the other edge: a packet more than W
+// epochs ahead of the horizon is rejected and counted as future.
+func TestEpochWindowFutureReject(t *testing.T) {
+	tap := &sink{}
+	a, err := NewConn(tap, rotation(t, 0xC0FFEE), Options{Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Advance(5); err != nil { // receiver horizon 0, W=4: 5 is too far
+		t.Fatal(err)
+	}
+	r := rng.New(17)
+	sendOne(t, a, r, 1)
+	pa, _ := NewPair()
+	b, err := NewConn(pa, rotation(t, 0xC0FFEE), Options{Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := b.Decode(tap.pkts[0]); m != nil || err == nil {
+		t.Fatalf("future packet decoded: m=%v err=%v", m, err)
+	}
+	if s := b.Stats(); s.RejectedFuture != 1 {
+		t.Fatalf("future rejects = %d, want 1 (stats %+v)", s.RejectedFuture, s)
+	}
+}
+
+// TestZeroOverheadOutOfWindow: in zero-overhead mode an out-of-window
+// packet has no readable epoch tag — it simply decodes under no
+// candidate and is counted as a parse reject.
+func TestZeroOverheadOutOfWindow(t *testing.T) {
+	tap := &sink{}
+	a, err := NewConn(tap, rotation(t, 0xC0FFEE), Options{Window: 2, ZeroOverhead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Advance(8); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(19)
+	sendOne(t, a, r, 1)
+	pa, _ := NewPair()
+	b, err := NewConn(pa, rotation(t, 0xC0FFEE), Options{Window: 2, ZeroOverhead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := b.Decode(tap.pkts[0]); m != nil || err == nil {
+		t.Fatalf("out-of-window zero-overhead packet decoded: m=%v err=%v", m, err)
+	}
+	if s := b.Stats(); s.RejectedParse != 1 {
+		t.Fatalf("parse rejects = %d, want 1 (stats %+v)", s.RejectedParse, s)
+	}
+}
+
+// TestRekeyIdempotent is the satellite edge case: the redundant rekey
+// burst applies the boundary exactly once, counting the extra copies
+// as duplicates, and traffic under the new family decodes.
+func TestRekeyIdempotent(t *testing.T) {
+	for _, zo := range []bool{false, true} {
+		t.Run(fmt.Sprintf("zeroOverhead=%v", zo), func(t *testing.T) {
+			a, b := testPair(t, Options{ZeroOverhead: zo, RekeyRedundancy: 3})
+			r := rng.New(23)
+			recvMatch(t, b, sendOne(t, a, r, 1))
+			from, err := a.Rekey(0xFEED)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if from != 1 {
+				t.Fatalf("rekey boundary = %d, want 1", from)
+			}
+			// The next data message flushes the three control copies
+			// through b's receive loop.
+			recvMatch(t, b, sendOne(t, a, r, 2))
+			s := b.Stats()
+			if s.RekeysApplied != 1 {
+				t.Fatalf("rekeys applied = %d, want 1 (stats %+v)", s.RekeysApplied, s)
+			}
+			if s.RekeyDups != 2 {
+				t.Fatalf("rekey dups = %d, want 2 (stats %+v)", s.RekeyDups, s)
+			}
+			if b.Horizon() != from {
+				t.Fatalf("receiver horizon = %d, want %d", b.Horizon(), from)
+			}
+			// And the new family carries traffic both ways.
+			recvMatch(t, a, sendOne(t, b, r, 3))
+		})
+	}
+}
+
+// TestCoverDiscarded is the satellite edge case: cover packets are
+// discarded and counted by receivers in both modes.
+func TestCoverDiscarded(t *testing.T) {
+	for _, zo := range []bool{false, true} {
+		t.Run(fmt.Sprintf("zeroOverhead=%v", zo), func(t *testing.T) {
+			a, b := testPair(t, Options{ZeroOverhead: zo})
+			r := rng.New(29)
+			for i := 0; i < 3; i++ {
+				if err := a.SendCover(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			recvMatch(t, b, sendOne(t, a, r, 1))
+			if got := b.Stats().CoverDropped; got != 3 {
+				t.Fatalf("covers dropped = %d, want 3", got)
+			}
+			if got := a.Stats().CoverSent; got != 3 {
+				t.Fatalf("covers sent = %d, want 3", got)
+			}
+			if b.Stats().DataRecv != 1 {
+				t.Fatalf("data packet lost behind covers")
+			}
+		})
+	}
+}
+
+// TestZeroOverheadAddsNoBytes proves the mode's claim from the byte
+// counters: in zero-overhead mode data packets add exactly 0 bytes on
+// the wire; in normal mode exactly the 12-byte header each.
+func TestZeroOverheadAddsNoBytes(t *testing.T) {
+	for _, zo := range []bool{false, true} {
+		t.Run(fmt.Sprintf("zeroOverhead=%v", zo), func(t *testing.T) {
+			a, b := testPair(t, Options{ZeroOverhead: zo})
+			r := rng.New(31)
+			const n = 20
+			for i := uint64(1); i <= n; i++ {
+				recvMatch(t, b, sendOne(t, a, r, i))
+			}
+			s := a.Stats()
+			want := uint64(0)
+			if !zo {
+				want = n * frame.EpochHeaderLen
+			}
+			if got := s.OverheadBytes(); got != want {
+				t.Fatalf("overhead = %d bytes over %d packets, want %d", got, s.DataSent, want)
+			}
+			if zo && s.ZeroOverheadSent != n {
+				t.Fatalf("zero-overhead sent = %d, want %d", s.ZeroOverheadSent, n)
+			}
+		})
+	}
+}
+
+// TestBatchRoundTrip drives the batch fast paths end to end over the
+// in-memory pair, which implements both batch interfaces.
+func TestBatchRoundTrip(t *testing.T) {
+	for _, zo := range []bool{false, true} {
+		t.Run(fmt.Sprintf("zeroOverhead=%v", zo), func(t *testing.T) {
+			a, b := testPair(t, Options{ZeroOverhead: zo})
+			r := rng.New(37)
+			const n = 12
+			msgs := make([]*msgtree.Message, n)
+			want := make([]map[string]string, n)
+			for i := range msgs {
+				m, err := a.NewMessage()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := buildBeacon(m.Scope(), r, uint64(i)); err != nil {
+					t.Fatal(err)
+				}
+				snap, err := m.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				msgs[i], want[i] = m, snap
+			}
+			if err := a.SendBatch(msgs); err != nil {
+				t.Fatal(err)
+			}
+			var got []*msgtree.Message
+			for len(got) < n {
+				batch, err := b.RecvBatch(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, batch...)
+			}
+			if len(got) != n {
+				t.Fatalf("received %d messages, want %d", len(got), n)
+			}
+			for i, m := range got {
+				have, err := m.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if diff := msgtree.SnapshotsEqual(want[i], have); diff != "" {
+					t.Fatalf("message %d: %s", i, diff)
+				}
+			}
+			if a.Stats().DataSent != n {
+				t.Fatalf("batch sent = %d, want %d", a.Stats().DataSent, n)
+			}
+		})
+	}
+}
+
+// TestMaxPacketRejected: oversized messages fail at Send — the layer
+// never fragments.
+func TestMaxPacketRejected(t *testing.T) {
+	a, _ := testPair(t, Options{MaxPacket: 64})
+	m, err := a.NewMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Scope()
+	if err := s.SetUint("device", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetUint("seqno", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetBytes("status", rng.New(1).PadBytes(16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetBytes("sig", make([]byte, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(m); err == nil {
+		t.Fatal("oversized message sent without error")
+	}
+}
+
+// TestZeroOverheadNeedsPacketPadder: zero-overhead mode is refused at
+// construction when the Versioner cannot derive packet pads.
+func TestZeroOverheadNeedsPacketPadder(t *testing.T) {
+	rot := rotation(t, 1)
+	g, err := rot.Graph(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := NewPair()
+	if _, err := NewConn(pa, fixedVersioner{g: g}, Options{ZeroOverhead: true}); err == nil {
+		t.Fatal("zero-overhead accepted a Versioner without PacketPad")
+	}
+}
+
+type fixedVersioner struct{ g *graph.Graph }
+
+func (f fixedVersioner) Graph(uint64) (*graph.Graph, error) { return f.g, nil }
+
+// TestLossySoak is the headline guarantee: 5% loss plus reordering and
+// duplication, mid-stream rekeys and covers, and every packet that
+// arrives either decodes to exactly what was sent or is dropped and
+// counted — never a crash, never a corrupted message.
+func TestLossySoak(t *testing.T) {
+	for _, zo := range []bool{false, true} {
+		t.Run(fmt.Sprintf("zeroOverhead=%v", zo), func(t *testing.T) {
+			pa, pb := NewPair()
+			lossy := NewLossy(pa, LossyConfig{LossPct: 5, DupPct: 3, ReorderPct: 10, Seed: 0x50AC})
+			a, err := NewConn(lossy, rotation(t, 0xC0FFEE), Options{ZeroOverhead: zo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewConn(pb, rotation(t, 0xC0FFEE), Options{ZeroOverhead: zo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rng.New(41)
+			const n = 300
+			want := make(map[uint64]map[string]string, n)
+			for i := uint64(1); i <= n; i++ {
+				want[i] = sendOne(t, a, r, i)
+				if i%100 == 0 {
+					if _, err := a.Rekey(int64(i)); err != nil {
+						t.Fatalf("rekey at %d: %v", i, err)
+					}
+				}
+				if i%40 == 0 {
+					if err := a.SendCover(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			lossy.Close() // flush held packet, EOF b after drain
+			decoded := 0
+			for {
+				m, err := b.Recv()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("recv: %v", err)
+				}
+				have, err := m.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc := m.Scope()
+				seq, err := sc.GetUint("seqno")
+				if err != nil {
+					t.Fatal(err)
+				}
+				snap, ok := want[seq]
+				if !ok {
+					t.Fatalf("received unknown seqno %d", seq)
+				}
+				if diff := msgtree.SnapshotsEqual(snap, have); diff != "" {
+					t.Fatalf("seqno %d corrupted in transit: %s", seq, diff)
+				}
+				decoded++
+			}
+			s := b.Stats()
+			t.Logf("zo=%v: sent=%d decoded=%d dropped=%d duped=%d reordered=%d; recv stats: %+v",
+				zo, n, decoded, lossy.Dropped, lossy.Reordered, lossy.Duped, s)
+			// At 5% loss roughly 95% should land; demand at least 85%
+			// so the assertion is about systemic failure, not one seed.
+			if decoded < n*85/100 {
+				t.Fatalf("decoded only %d of %d messages", decoded, n)
+			}
+			if s.RekeysApplied == 0 {
+				t.Fatal("no rekey survived the burst redundancy")
+			}
+		})
+	}
+}

@@ -1,0 +1,302 @@
+package dgram
+
+import (
+	"io"
+	"sync"
+
+	"protoobf/internal/rng"
+)
+
+// packetQueue is one direction of the in-memory pair: a bounded FIFO
+// of whole packets with datagram semantics (one Write enqueues one
+// packet, one Read dequeues one, truncating into the caller's buffer
+// like a UDP socket read).
+type packetQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	pkts   [][]byte
+	bound  int
+	closed bool
+}
+
+func newPacketQueue(bound int) *packetQueue {
+	q := &packetQueue{bound: bound}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *packetQueue) push(p []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return io.ErrClosedPipe
+	}
+	if len(q.pkts) >= q.bound {
+		// Datagram semantics: a full queue drops, it does not block —
+		// backpressure on a lossy transport is loss.
+		return nil
+	}
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	q.pkts = append(q.pkts, buf)
+	q.cond.Signal()
+	return nil
+}
+
+func (q *packetQueue) pop(p []byte) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.pkts) == 0 {
+		if q.closed {
+			return 0, io.EOF
+		}
+		q.cond.Wait()
+	}
+	pkt := q.pkts[0]
+	q.pkts = q.pkts[1:]
+	return copy(p, pkt), nil
+}
+
+// popBatch blocks for the first packet, then drains whatever else is
+// queued, up to len(bufs).
+func (q *packetQueue) popBatch(bufs [][]byte, sizes []int) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.pkts) == 0 {
+		if q.closed {
+			return 0, io.EOF
+		}
+		q.cond.Wait()
+	}
+	n := 0
+	for n < len(bufs) && n < len(sizes) && len(q.pkts) > 0 {
+		pkt := q.pkts[0]
+		q.pkts = q.pkts[1:]
+		sizes[n] = copy(bufs[n], pkt)
+		n++
+	}
+	return n, nil
+}
+
+func (q *packetQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// PacketEnd is one side of an in-memory datagram pair. It has UDP-like
+// semantics — whole packets, bounded queues that drop on overflow,
+// reads that truncate — and implements the BatchWriter/BatchReader
+// fast paths, making it both the loopback transport for tests and
+// benches and the reference implementation of the batch interfaces.
+type PacketEnd struct {
+	in, out *packetQueue
+}
+
+// NewPair returns two connected in-memory datagram endpoints.
+func NewPair() (*PacketEnd, *PacketEnd) {
+	a := newPacketQueue(1024)
+	b := newPacketQueue(1024)
+	return &PacketEnd{in: a, out: b}, &PacketEnd{in: b, out: a}
+}
+
+// Write sends p as one packet. A full peer queue drops the packet
+// silently (datagram semantics); only a closed pair errors.
+func (e *PacketEnd) Write(p []byte) (int, error) {
+	if err := e.out.push(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Read blocks for the next packet and copies it into p, truncating
+// like a datagram socket when p is too small.
+func (e *PacketEnd) Read(p []byte) (int, error) {
+	return e.in.pop(p)
+}
+
+// WritePacketBatch sends each slice as one packet.
+func (e *PacketEnd) WritePacketBatch(pkts [][]byte) error {
+	for _, p := range pkts {
+		if err := e.out.push(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPacketBatch blocks for the first packet, then drains up to
+// len(bufs) queued packets without further blocking.
+func (e *PacketEnd) ReadPacketBatch(bufs [][]byte, sizes []int) (int, error) {
+	return e.in.popBatch(bufs, sizes)
+}
+
+// Close shuts both directions; the peer's pending reads return io.EOF.
+func (e *PacketEnd) Close() error {
+	e.in.close()
+	e.out.close()
+	return nil
+}
+
+// LossyConfig describes deterministic packet mutilation for tests and
+// benches: percentages are per-packet probabilities driven by a seeded
+// generator, so a given seed reproduces the exact same loss pattern.
+type LossyConfig struct {
+	// LossPct drops this percentage of written packets.
+	LossPct int
+	// DupPct delivers this percentage of written packets twice.
+	DupPct int
+	// ReorderPct holds this percentage of written packets back one
+	// slot, swapping them with the next packet — adjacent reordering,
+	// the dominant real-world pattern.
+	ReorderPct int
+	// Seed drives the deterministic coin flips.
+	Seed int64
+}
+
+// Lossy wraps a datagram transport with seeded loss, duplication and
+// adjacent reordering on the write side; reads pass through. The
+// wrapper forwards the batch fast paths of the inner transport when
+// present, applying the same per-packet coin flips.
+type Lossy struct {
+	inner io.ReadWriter
+	cfg   LossyConfig
+
+	mu   sync.Mutex
+	r    *rng.R
+	held []byte // packet delayed one slot by reordering
+
+	// Tallies of what the wrapper actually did, for bench reporting.
+	Written, Dropped, Duped, Reordered int
+}
+
+// NewLossy wraps inner with the configured mutilation.
+func NewLossy(inner io.ReadWriter, cfg LossyConfig) *Lossy {
+	return &Lossy{inner: inner, cfg: cfg, r: rng.New(cfg.Seed)}
+}
+
+func (l *Lossy) Read(p []byte) (int, error) { return l.inner.Read(p) }
+
+// Write applies the coin flips to one packet. Reordering holds the
+// packet and releases it after the next write; Close flushes a held
+// packet so nothing is silently lost at shutdown.
+func (l *Lossy) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writeLocked(p)
+}
+
+func (l *Lossy) writeLocked(p []byte) (int, error) {
+	l.Written++
+	if l.cfg.LossPct > 0 && l.r.Pick(100) < l.cfg.LossPct {
+		l.Dropped++
+		return len(p), nil
+	}
+	if l.cfg.ReorderPct > 0 && l.held == nil && l.r.Pick(100) < l.cfg.ReorderPct {
+		l.held = append([]byte(nil), p...)
+		l.Reordered++
+		return len(p), nil
+	}
+	if err := l.deliver(p); err != nil {
+		return 0, err
+	}
+	if l.held != nil {
+		held := l.held
+		l.held = nil
+		if err := l.deliver(held); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+func (l *Lossy) deliver(p []byte) error {
+	if _, err := l.inner.Write(p); err != nil {
+		return err
+	}
+	if l.cfg.DupPct > 0 && l.r.Pick(100) < l.cfg.DupPct {
+		l.Duped++
+		if _, err := l.inner.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePacketBatch applies the per-packet coin flips to each packet of
+// the batch, then forwards the survivors in one call when the inner
+// transport supports batching.
+func (l *Lossy) WritePacketBatch(pkts [][]byte) error {
+	bw, ok := l.inner.(BatchWriter)
+	if !ok {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		for _, p := range pkts {
+			if _, err := l.writeLocked(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([][]byte, 0, len(pkts)+1)
+	for _, p := range pkts {
+		l.Written++
+		if l.cfg.LossPct > 0 && l.r.Pick(100) < l.cfg.LossPct {
+			l.Dropped++
+			continue
+		}
+		if l.cfg.ReorderPct > 0 && l.held == nil && l.r.Pick(100) < l.cfg.ReorderPct {
+			l.held = append([]byte(nil), p...)
+			l.Reordered++
+			continue
+		}
+		out = append(out, p)
+		if l.held != nil {
+			out = append(out, l.held)
+			l.held = nil
+		}
+		if l.cfg.DupPct > 0 && l.r.Pick(100) < l.cfg.DupPct {
+			l.Duped++
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return bw.WritePacketBatch(out)
+}
+
+// ReadPacketBatch forwards the inner transport's batch read.
+func (l *Lossy) ReadPacketBatch(bufs [][]byte, sizes []int) (int, error) {
+	if br, ok := l.inner.(BatchReader); ok {
+		return br.ReadPacketBatch(bufs, sizes)
+	}
+	if len(bufs) == 0 || len(sizes) == 0 {
+		return 0, nil
+	}
+	n, err := l.inner.Read(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	sizes[0] = n
+	return 1, nil
+}
+
+// Close flushes a held (reordered) packet and closes the inner
+// transport when it can be closed.
+func (l *Lossy) Close() error {
+	l.mu.Lock()
+	if l.held != nil {
+		held := l.held
+		l.held = nil
+		l.deliver(held)
+	}
+	l.mu.Unlock()
+	if c, ok := l.inner.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

@@ -28,6 +28,7 @@ func (ep *Endpoint) Metrics() Metrics {
 	m.Prefetch = ep.prefetchStats.Snapshot()
 	m.Resume = ep.resumeStats.Snapshot()
 	m.Shape = ep.shapeStats.Snapshot()
+	m.Dgram = ep.dgramStats.Snapshot()
 	return m
 }
 
