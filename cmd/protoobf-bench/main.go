@@ -104,6 +104,7 @@ func run(ctx context.Context, args []string) error {
 	epochs := fs.Int("epochs", 32, "scheduled rotations to cross in the session workloads")
 	rekeyEvery := fs.Uint64("rekey-every", 0, "propose an in-band rekey every N epochs in the session workloads (0 = never)")
 	window := fs.Int("window", 0, "dialect cache window for the session workloads (0 = defaults)")
+	obsAddr := fs.String("obs", "", "serve /metrics, /snapshot.json and /debug/pprof on this address while workloads run (empty = off)")
 	all := fs.Bool("all", false, "run every experiment for both protocols")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,6 +114,20 @@ func run(ctx context.Context, args []string) error {
 	// this binary to run one backend; serve and exit before anything else.
 	if *gatewayBackend != "" {
 		return bench.RunGatewayBackendStdio(*gatewayBackend, os.Stdin, os.Stdout)
+	}
+
+	// The obs surface serves whatever workload endpoints are live at
+	// scrape time; the gateway workload additionally self-scrapes it
+	// mid-run and fails on an unserviceable page.
+	obsBound := ""
+	if *obsAddr != "" {
+		ol, err := bench.StartObs(*obsAddr)
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		defer ol.Close()
+		obsBound = ol.Addr().String()
+		fmt.Fprintf(os.Stderr, "protoobf-bench: obs on http://%s/metrics\n", obsBound)
 	}
 
 	// The gateway workload has its own (larger) defaults for the shared
@@ -126,6 +141,7 @@ func run(ctx context.Context, args []string) error {
 			Seed:     *seed,
 			InProc:   *inproc,
 			Metrics:  *showMetrics,
+			ObsAddr:  obsBound,
 		}
 		if explicit["sessions"] {
 			gcfg.Sessions = *sessions

@@ -49,11 +49,21 @@ func (b *backendFlags) Set(v string) error {
 
 // parseBackend splits a name=addr flag value.
 func parseBackend(v string) (gateway.Backend, error) {
-	name, addr, ok := strings.Cut(v, "=")
-	if !ok || name == "" || addr == "" {
-		return gateway.Backend{}, fmt.Errorf("backend %q: want name=host:port", v)
+	name, addr, err := splitNameAddr(v)
+	if err != nil {
+		return gateway.Backend{}, err
 	}
 	return gateway.Backend{Name: name, Addr: addr}, nil
+}
+
+// splitNameAddr splits a name=addr flag value, shared by -backend and
+// -backend-obs.
+func splitNameAddr(v string) (name, addr string, err error) {
+	name, addr, ok := strings.Cut(v, "=")
+	if !ok || name == "" || addr == "" {
+		return "", "", fmt.Errorf("backend %q: want name=host:port", v)
+	}
+	return name, addr, nil
 }
 
 func main() {
@@ -70,7 +80,10 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 0, "fleet master seed for ticket verification (required unless -no-verify)")
 	noVerify := fs.Bool("no-verify", false, "route without authenticating resume tickets (no family routing, no replay defense)")
 	replayWindow := fs.Int("replay-window", 0, "replay cache capacity in tickets (0 = default 4096, negative = disabled)")
+	obsAddr := fs.String("obs", "", "serve /metrics, /snapshot.json and /debug/pprof on this address (empty = off)")
+	var backendObs obsBackendFlags
 	fs.Var(&backends, "backend", "backend as name=host:port (repeatable)")
+	fs.Var(&backendObs, "backend-obs", "backend obs address as name=host:port, scraped into the fleet /metrics page (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,6 +107,15 @@ func run(args []string) error {
 	gw, err := gateway.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *obsAddr != "" {
+		ol, err := startObs(*obsAddr, gw, backendObs)
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		defer ol.Close()
+		fmt.Fprintf(os.Stderr, "protoobf-gateway: obs on http://%s/metrics (%d backend obs)\n",
+			ol.Addr(), len(backendObs))
 	}
 
 	sigCh := make(chan os.Signal, 1)

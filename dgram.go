@@ -117,6 +117,8 @@ func (ep *Endpoint) packetOpts(cfg settings) dgram.Options {
 		opts.CacheWindow = *cfg.cacheWindow
 	}
 	opts.Stats = &ep.dgramStats
+	opts.Trace = ep.trace
+	opts.TraceID = ep.trace.NextSession()
 	return opts
 }
 

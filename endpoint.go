@@ -13,6 +13,7 @@ import (
 	"protoobf/internal/core"
 	"protoobf/internal/metrics"
 	"protoobf/internal/session"
+	"protoobf/internal/trace"
 )
 
 // Endpoint is the share-safe entry point for a dialect family: it
@@ -58,6 +59,15 @@ type Endpoint struct {
 	// PacketSession this endpoint mints: packets moved, epoch-window
 	// rejects, idempotent-rekey bookkeeping, framing overhead.
 	dgramStats metrics.DgramCounters
+
+	// latency aggregates the control-plane latency histograms of every
+	// session this endpoint mints: epoch-boundary crossings, rekey
+	// handshake round trips, resume handshake round trips.
+	latency metrics.LatencyCounters
+
+	// trace, when non-nil (WithTrace), records lifecycle events of every
+	// session this endpoint mints into one bounded ring.
+	trace *trace.Ring
 }
 
 // settings carries the control-plane configuration shared by endpoint
@@ -83,6 +93,8 @@ type settings struct {
 	epochWindow     *uint64
 	zeroOverhead    *bool
 	maxPacket       *int
+	traceCap        int
+	traceClock      func() time.Time
 }
 
 // Option is a functional option accepted by both NewEndpoint and
@@ -228,6 +240,23 @@ func WithTicketReissue(on bool) Option {
 	return func(cfg *settings) { cfg.reissue = &on }
 }
 
+// WithTrace turns on session event tracing: the endpoint keeps the
+// newest n lifecycle events — session open/close, epoch crossings,
+// rekey handshake steps, resume accepts and rejects (with reason),
+// cover bursts, datagram rejects — of every session it mints in one
+// bounded ring, read via Endpoint.Trace or served as /trace.json by
+// ObsHandler. n <= 0 (the default) disables tracing, at the cost of a
+// nil-check on each would-be emission. Endpoint-level only.
+func WithTrace(n int) Option {
+	return func(cfg *settings) { cfg.traceCap = n }
+}
+
+// withTraceClock injects the trace ring's clock for deterministic
+// timestamps in tests.
+func withTraceClock(clock func() time.Time) Option {
+	return func(cfg *settings) { cfg.traceClock = clock }
+}
+
 // NewEndpoint compiles the dialect family of (spec, opts) once and
 // returns the endpoint that mints its sessions. Endpoint options become
 // the default control-plane configuration of every session; each can be
@@ -257,6 +286,9 @@ func NewEndpoint(spec string, opts Options, o ...EndpointOption) (*Endpoint, err
 	}
 	if w := ep.base.replayWindow; w != nil {
 		ep.replay = session.NewReplayCache(*w)
+	}
+	if n := ep.base.traceCap; n > 0 {
+		ep.trace = trace.NewWithClock(n, ep.base.traceClock)
 	}
 	return ep, nil
 }
@@ -304,6 +336,9 @@ func (ep *Endpoint) sessionConfig(o []SessionOption) (settings, error) {
 	if cfg.replayWindow != ep.base.replayWindow {
 		return cfg, errors.New("protoobf: WithTicketReplayWindow is endpoint-level; pass it to NewEndpoint")
 	}
+	if cfg.traceCap != ep.base.traceCap {
+		return cfg, errors.New("protoobf: WithTrace is endpoint-level; pass it to NewEndpoint")
+	}
 	if cfg.epochWindow != ep.base.epochWindow || cfg.zeroOverhead != ep.base.zeroOverhead || cfg.maxPacket != ep.base.maxPacket {
 		return cfg, errors.New("protoobf: WithEpochWindow/WithZeroOverhead/WithMaxPacket configure packet sessions; pass them to PacketSession, DialPacket or ListenPacket")
 	}
@@ -339,6 +374,9 @@ func (ep *Endpoint) sessionOpts(cfg settings) session.Options {
 	sopts.ShapeClock = cfg.shapeClock
 	sopts.ShapeSleep = cfg.shapeSleep
 	sopts.ShapeStats = &ep.shapeStats
+	sopts.Latency = &ep.latency
+	sopts.Trace = ep.trace
+	sopts.TraceID = ep.trace.NextSession()
 	return sopts
 }
 
@@ -439,6 +477,14 @@ func (ep *Endpoint) TicketOpener() session.TicketOpener {
 // unless WithTicketReplayWindow was given) so a gateway and its
 // backends can share one replay scope.
 func (ep *Endpoint) ReplayCache() *session.ReplayCache { return ep.replay }
+
+// Trace returns a copy of the endpoint's buffered lifecycle events,
+// oldest first — always the newest WithTrace(n) (or fewer) events, with
+// strictly increasing sequence numbers. Nil when tracing is off.
+func (ep *Endpoint) Trace() []TraceEvent { return ep.trace.Events() }
+
+// TraceEnabled reports whether WithTrace turned event tracing on.
+func (ep *Endpoint) TraceEnabled() bool { return ep.trace.Enabled() }
 
 // Rotation exposes the endpoint's shared dialect family for inspection
 // (cache introspection, direct Version access). It is nil for static

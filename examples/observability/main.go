@@ -1,0 +1,185 @@
+// The live observability surface: a server endpoint runs with event
+// tracing on, serves real traffic — round trips, an in-band rekey, a
+// kill-and-resume migration — and exposes everything it measured on an
+// HTTP obs address (ServeObs): /metrics is a Prometheus page with the
+// latency histograms (epoch boundary, rekey RTT, resume RTT, compile
+// durations), /snapshot.json the same counters as JSON, /trace.json
+// the structured event ring, and /debug/pprof the stock profiler. The
+// program then scrapes its own surface like a monitoring system would
+// and prints what came back — no client library on either side.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"protoobf"
+)
+
+const spec = `
+protocol beacon;
+root seq msg end {
+    uint  device 2;
+    uint  seqno 4;
+    uint  blen 2;
+    seq body length(blen) {
+        bytes status delim ";" min 1;
+    }
+    bytes sig end;
+}
+`
+
+func main() {
+	opts := protoobf.Options{PerNode: 2, Seed: 0x0B5E7E}
+
+	// The client endpoint keeps a 256-event trace ring — it is the side
+	// that proposes rekeys and presents resume tickets, so its
+	// histograms time both round trips. The server runs untraced, as a
+	// remote peer would.
+	server, err := protoobf.NewEndpoint(spec, opts)
+	check(err)
+	client, err := protoobf.NewEndpoint(spec, opts, protoobf.WithTrace(256))
+	check(err)
+
+	// The obs surface is one call; ":0" picks a free port.
+	obs, err := protoobf.ServeObs("127.0.0.1:0", client)
+	check(err)
+	defer obs.Close()
+	fmt.Printf("obs surface on http://%s/metrics\n", obs.Addr())
+
+	ln, err := server.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	defer ln.Close()
+	go serve(ln)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Traffic worth observing: trips, a rekey handshake, a migration.
+	sess, err := client.Dial(ctx, "tcp", ln.Addr().String())
+	check(err)
+	echo(sess, 1)
+	_, err = sess.Rekey(0x5EED)
+	check(err)
+	echo(sess, 2) // carries the proposal; the server acks
+	echo(sess, 3) // completes the handshake
+	ticket, err := sess.Export()
+	check(err)
+	check(sess.Close())
+	resumed, err := client.DialResume(ctx, "tcp", ln.Addr().String(), ticket)
+	check(err)
+	echo(resumed, 4)
+	check(resumed.Close())
+
+	// Scrape the Prometheus page and show the histogram families.
+	page := get(obs.Addr(), "/metrics")
+	check(protoobf.LintProm(page))
+	shown := 0
+	for _, line := range strings.Split(string(page), "\n") {
+		if strings.HasPrefix(line, "# TYPE") && strings.Contains(line, "histogram") {
+			fmt.Println(line)
+			shown++
+		}
+	}
+	fmt.Printf("scraped /metrics: %d bytes, lint clean, %d histogram families\n", len(page), shown)
+
+	// The JSON snapshot carries the same numbers, typed.
+	var snap protoobf.Metrics
+	check(json.Unmarshal(get(obs.Addr(), "/snapshot.json"), &snap))
+	fmt.Printf("snapshot: %d rekey handshake (p99 <= %v), %d ticket resume (p99 <= %v)\n",
+		snap.Latency.RekeyRTT.Count,
+		time.Duration(snap.Latency.RekeyRTT.Quantile(0.99)),
+		snap.Latency.ResumeRTT.Count,
+		time.Duration(snap.Latency.ResumeRTT.Quantile(0.99)))
+
+	// And the trace ring replays the session lifecycle, event by event.
+	var evs []protoobf.TraceEvent
+	check(json.Unmarshal(get(obs.Addr(), "/trace.json"), &evs))
+	fmt.Printf("trace: %d events\n", len(evs))
+	for _, e := range evs {
+		detail := ""
+		if e.Detail != "" {
+			detail = " (" + e.Detail + ")"
+		}
+		fmt.Printf("  seq=%-3d session=%d %s epoch=%d%s\n", e.Seq, e.Session, e.Kind, e.Epoch, detail)
+	}
+}
+
+// get fetches one obs route, failing on a non-200 answer.
+func get(addr, path string) []byte {
+	resp, err := http.Get("http://" + addr + path)
+	check(err)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	check(err)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return body
+}
+
+// serve echoes each beacon's seqno back, +1000.
+func serve(ln *protoobf.Listener) {
+	for {
+		sess, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(sess *protoobf.Session) {
+			defer sess.Close()
+			for {
+				got, err := sess.Recv()
+				if err != nil {
+					return
+				}
+				seq, err := got.Scope().GetUint("seqno")
+				if err != nil {
+					return
+				}
+				reply, err := sess.NewMessage()
+				if err != nil {
+					return
+				}
+				s := reply.Scope()
+				if s.SetUint("device", 9) != nil || s.SetUint("seqno", seq+1000) != nil ||
+					s.SetString("status", "ack") != nil || s.SetBytes("sig", nil) != nil {
+					return
+				}
+				if sess.Send(reply) != nil {
+					return
+				}
+			}
+		}(sess)
+	}
+}
+
+// echo round-trips one seqno through the server.
+func echo(sess *protoobf.Session, seqno uint64) {
+	m, err := sess.NewMessage()
+	check(err)
+	s := m.Scope()
+	check(s.SetUint("device", 1))
+	check(s.SetUint("seqno", seqno))
+	check(s.SetString("status", "ok"))
+	check(s.SetBytes("sig", nil))
+	check(sess.Send(m))
+	got, err := sess.Recv()
+	check(err)
+	v, err := got.Scope().GetUint("seqno")
+	check(err)
+	if v != seqno+1000 {
+		log.Fatalf("echoed seqno %d, want %d", v, seqno+1000)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -135,6 +135,7 @@ type BenchReport struct {
 	Mutation       adversary.MutationResult   `json:"mutation"`
 	Covert         []adversary.CovertEstimate `json:"covert"`
 	Perf           PerfReport                 `json:"perf"`
+	Latency        *LatencyReport             `json:"latency,omitempty"`
 	Shaping        *ShapingReport             `json:"shaping,omitempty"`
 	Gateway        *GatewayReport             `json:"gateway,omitempty"`
 	Datagram       *DatagramReport            `json:"datagram,omitempty"`
@@ -231,6 +232,10 @@ func RunAdversary(ctx context.Context, cfg AdversaryConfig) (*BenchReport, error
 	if err != nil {
 		return nil, fmt.Errorf("bench: perf trajectory: %w", err)
 	}
+	lat, err := measureLatency(ctx, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: latency trajectory: %w", err)
+	}
 
 	return &BenchReport{
 		Schema:         BenchSchema,
@@ -243,6 +248,7 @@ func RunAdversary(ctx context.Context, cfg AdversaryConfig) (*BenchReport, error
 		Mutation:       *mut,
 		Covert:         covert,
 		Perf:           *perf,
+		Latency:        lat,
 		Shaping:        shaping,
 	}, nil
 }
@@ -546,6 +552,21 @@ func (r *BenchReport) validateAdversary() error {
 		r.Perf.EndpointMsgsPerSec <= 0 {
 		return fmt.Errorf("bench: perf numbers missing: %+v", r.Perf)
 	}
+	if l := r.Latency; l != nil {
+		for _, q := range []struct {
+			name string
+			LatencyQuantiles
+		}{
+			{"compile", l.Compile},
+			{"epoch_boundary", l.EpochBoundary},
+			{"rekey_rtt", l.RekeyRTT},
+			{"resume_rtt", l.ResumeRTT},
+		} {
+			if q.Count == 0 || q.P99Ns < q.P50Ns {
+				return fmt.Errorf("bench: latency %s malformed: %+v", q.name, q.LatencyQuantiles)
+			}
+		}
+	}
 	return nil
 }
 
@@ -602,5 +623,20 @@ func (r *BenchReport) Table() string {
 		r.Perf.SteadyNsPerOp, r.Perf.SteadyAllocsPerOp, r.Perf.RoundtripNsPerOp, r.Perf.RoundtripAllocsPerOp)
 	fmt.Fprintf(&sb, "      boundary: cold version %d ns/op vs warm %d ns/op; endpoint %.0f msgs/s, %d demand compiles\n",
 		r.Perf.ColdVersionNsPerOp, r.Perf.WarmVersionNsPerOp, r.Perf.EndpointMsgsPerSec, r.Perf.DemandCompiles)
+	if l := r.Latency; l != nil {
+		fmt.Fprintf(&sb, "latency (p50/p95/p99 ns, log2-bucket upper bounds):\n")
+		for _, q := range []struct {
+			name string
+			LatencyQuantiles
+		}{
+			{"compile (demand)", l.Compile},
+			{"epoch boundary", l.EpochBoundary},
+			{"rekey rtt", l.RekeyRTT},
+			{"resume rtt", l.ResumeRTT},
+		} {
+			fmt.Fprintf(&sb, "  %-16s %d / %d / %d (%d observations)\n",
+				q.name, q.P50Ns, q.P95Ns, q.P99Ns, q.Count)
+		}
+	}
 	return sb.String()
 }

@@ -113,6 +113,8 @@ func RunEndpoint(ctx context.Context, cfg EndpointConfig) (*EndpointResult, erro
 	if err != nil {
 		return nil, err
 	}
+	defer publishObs("endpoint-srv", epSrv)()
+	defer publishObs("endpoint-cli", epCli)()
 
 	if cfg.Prefetch > 0 {
 		// The fake clock never fires the daemons' boundary timers, so

@@ -49,6 +49,12 @@ type GatewayConfig struct {
 	ArtifactDir string
 	// Metrics includes per-backend metric dumps in the rendered table.
 	Metrics bool
+	// ObsAddr, when set, is a bench obs address (StartObs) the workload
+	// self-scrapes mid-run: while each phase's fleet is still up,
+	// /metrics and /snapshot.json must answer 200, the metrics page must
+	// pass the exposition lint, and the snapshot must decode — otherwise
+	// the run fails.
+	ObsAddr string
 }
 
 // BackendMetrics is the metric slice one backend reports at shutdown —
@@ -274,6 +280,7 @@ func runGatewayPhase(ctx context.Context, cfg GatewayConfig, dir string, probeRe
 	if err != nil {
 		return nil, err
 	}
+	defer publishObs("gateway-cli", epCli)()
 
 	ph := &gatewayPhase{}
 	var mu sync.Mutex
@@ -357,6 +364,14 @@ func runGatewayPhase(ctx context.Context, cfg GatewayConfig, dir string, probeRe
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("session %d: %w", i, err)
+		}
+	}
+
+	// Mid-run scrape: the fleet and the client endpoint are still up,
+	// so the obs page must be serviceable right now.
+	if cfg.ObsAddr != "" {
+		if err := selfScrape(cfg.ObsAddr); err != nil {
+			return nil, err
 		}
 	}
 
@@ -451,6 +466,7 @@ func runGatewayBackend(cfg gatewayBackendConfig, ready func(addr string), stop <
 	if err != nil {
 		return BackendMetrics{}, err
 	}
+	defer publishObs(fmt.Sprintf("gateway-b%d", cfg.Tag), ep)()
 	ln, err := ep.Listen("tcp", cfg.Listen)
 	if err != nil {
 		return BackendMetrics{}, err

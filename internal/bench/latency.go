@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"context"
+
+	"protoobf/internal/metrics"
+)
+
+// LatencyQuantiles summarizes one latency histogram as coarse
+// percentiles. The values are upper bounds from the log2 bucket layout
+// (exact to within one power of two), in nanoseconds — good enough to
+// catch an order-of-magnitude regression, which is what a trajectory
+// file is for.
+type LatencyQuantiles struct {
+	Count uint64 `json:"count"`
+	P50Ns uint64 `json:"p50_ns"`
+	P95Ns uint64 `json:"p95_ns"`
+	P99Ns uint64 `json:"p99_ns"`
+}
+
+// LatencyReport is the control-plane latency section of the BENCH
+// trajectory: where the session layer actually spends time when
+// dialects rotate, rekey, and resume.
+type LatencyReport struct {
+	// Compile is the demand-compile distribution — dialect compiles paid
+	// for on a session hot path at an unprefetched epoch boundary.
+	Compile LatencyQuantiles `json:"compile"`
+	// EpochBoundary is the boundary-crossing distribution: schedule
+	// moved to installed dialect, cache hit or compile included.
+	EpochBoundary LatencyQuantiles `json:"epoch_boundary"`
+	// RekeyRTT is the rekey handshake round trip (propose to ack).
+	RekeyRTT LatencyQuantiles `json:"rekey_rtt"`
+	// ResumeRTT is the resume handshake round trip on the resuming side
+	// (ticket sent to ack processed).
+	ResumeRTT LatencyQuantiles `json:"resume_rtt"`
+}
+
+// quantiles reduces a histogram snapshot to the report percentiles.
+func quantiles(s metrics.HistogramStats) LatencyQuantiles {
+	return LatencyQuantiles{
+		Count: s.Count,
+		P50Ns: s.Quantile(0.50),
+		P95Ns: s.Quantile(0.95),
+		P99Ns: s.Quantile(0.99),
+	}
+}
+
+// mergeHist sums two histogram snapshots bucket-wise, so a report line
+// covers both endpoints of a workload.
+func mergeHist(a, b metrics.HistogramStats) metrics.HistogramStats {
+	a.Count += b.Count
+	a.Sum += b.Sum
+	for i := range a.Buckets {
+		a.Buckets[i] += b.Buckets[i]
+	}
+	return a
+}
+
+// measureLatency populates the latency section from two short
+// workloads: the endpoint workload with periodic in-band rekeys (epoch
+// boundaries, demand compiles, rekey round trips) and a small migration
+// workload (ticket-resume round trips on the resuming side).
+func measureLatency(ctx context.Context, cfg AdversaryConfig) (*LatencyReport, error) {
+	eres, err := RunEndpoint(ctx, EndpointConfig{
+		Sessions:     4,
+		Epochs:       6,
+		MsgsPerEpoch: 4,
+		RekeyEvery:   2,
+		PerNode:      cfg.PerNode,
+		Seed:         cfg.Seed,
+		Window:       64,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mres, err := RunMigrate(ctx, MigrateConfig{
+		Sessions:     4,
+		Cycles:       2,
+		MsgsPerCycle: 4,
+		PerNode:      cfg.PerNode,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, cli := eres.SrvMetrics, eres.CliMetrics
+	return &LatencyReport{
+		Compile:       quantiles(mergeHist(srv.Rotation.DemandCompileNanos, cli.Rotation.DemandCompileNanos)),
+		EpochBoundary: quantiles(mergeHist(srv.Latency.EpochBoundary, cli.Latency.EpochBoundary)),
+		RekeyRTT:      quantiles(mergeHist(srv.Latency.RekeyRTT, cli.Latency.RekeyRTT)),
+		ResumeRTT:     quantiles(mergeHist(mres.SrvMetrics.Latency.ResumeRTT, mres.CliMetrics.Latency.ResumeRTT)),
+	}, nil
+}

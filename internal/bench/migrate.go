@@ -78,6 +78,8 @@ func RunMigrate(ctx context.Context, cfg MigrateConfig) (*MigrateResult, error) 
 	if err != nil {
 		return nil, err
 	}
+	defer publishObs("migrate-srv", epSrv)()
+	defer publishObs("migrate-cli", epCli)()
 
 	connect, resume, shutdown, err := migrateDialers(ctx, cfg, epSrv, epCli)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"protoobf/internal/artifact"
 	"protoobf/internal/graph"
@@ -457,7 +458,13 @@ func (r *Rotation) versionFor(family int64, epoch uint64, prefetch bool) (p *Pro
 	if prefetch {
 		r.stats.PrefetchCompiles.Add(1)
 	}
+	start := time.Now()
 	p, err = Compile(r.source, opts)
+	if prefetch {
+		r.stats.PrefetchCompileNanos.ObserveDuration(time.Since(start))
+	} else {
+		r.stats.DemandCompileNanos.ObserveDuration(time.Since(start))
+	}
 	if err != nil {
 		r.stats.CompileErrors.Add(1)
 		err = fmt.Errorf("rotation epoch %d: %w", epoch, err)

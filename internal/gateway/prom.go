@@ -1,0 +1,34 @@
+package gateway
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteProm renders the gateway's routing counters in the Prometheus
+// text exposition format under the protoobf_gateway_* namespace — the
+// gateway's own half of the obs page cmd/protoobf-gateway serves, next
+// to the fleet-merged backend snapshots (metrics.WriteFleetProm). The
+// error is the writer's, from the first failing write.
+func WriteProm(w io.Writer, s Stats) error {
+	bw := bufio.NewWriter(w)
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("protoobf_gateway_accepted_total",
+		"Streams accepted from the gateway listener.", s.Accepted)
+	counter("protoobf_gateway_fresh_routed_total",
+		"Streams routed round-robin as fresh dials.", s.FreshRouted)
+	counter("protoobf_gateway_resume_routed_total",
+		"Authenticated resume streams routed by dialect family.", s.ResumeRouted)
+	counter("protoobf_gateway_replay_rejects_total",
+		"Authentic tickets dropped by the fleet replay cache (single-use).", s.ReplayRejects)
+	counter("protoobf_gateway_forged_rejects_total",
+		"Resume streams dropped because the ticket failed verification.", s.ForgedRejects)
+	counter("protoobf_gateway_dial_errors_total",
+		"Streams dropped on a failed backend dial.", s.DialErrors)
+	counter("protoobf_gateway_header_errors_total",
+		"Streams dropped before routing (torn or oversized opening frame, header timeout, empty registry).", s.HeaderErrors)
+	return bw.Flush()
+}

@@ -1,0 +1,33 @@
+package gateway
+
+import (
+	"strings"
+	"testing"
+
+	"protoobf/internal/metrics"
+)
+
+func TestWritePromLints(t *testing.T) {
+	s := Stats{
+		Accepted: 12, FreshRouted: 7, ResumeRouted: 4,
+		ReplayRejects: 1, ForgedRejects: 2, DialErrors: 3, HeaderErrors: 5,
+	}
+	var sb strings.Builder
+	if err := WriteProm(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	page := sb.String()
+	if err := metrics.LintProm([]byte(page)); err != nil {
+		t.Fatalf("gateway prom page fails lint: %v\n%s", err, page)
+	}
+	for _, want := range []string{
+		"protoobf_gateway_accepted_total 12",
+		"protoobf_gateway_resume_routed_total 4",
+		"protoobf_gateway_replay_rejects_total 1",
+		"# TYPE protoobf_gateway_header_errors_total counter",
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("page missing %q:\n%s", want, page)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, math.MaxUint64} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 10 {
+		t.Fatalf("Count = %d, want 10", s.Count)
+	}
+	wantSum := uint64(0 + 1 + 2 + 3 + 4 + 7 + 8 + 1023 + 1024)
+	wantSum += math.MaxUint64 // wraps; Sum is modular, assert exactly that
+	if s.Sum != wantSum {
+		t.Fatalf("Sum = %d, want %d", s.Sum, wantSum)
+	}
+	// bits.Len64 layout: 0→bucket 0; 1→1; 2,3→2; 4..7→3; 8→4;
+	// 1023→10; 1024→11; MaxUint64→64.
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 2, 4: 1, 10: 1, 11: 1, 64: 1}
+	for i, n := range s.Buckets {
+		if n != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+}
+
+func TestBucketBound(t *testing.T) {
+	cases := map[int]uint64{0: 0, 1: 1, 2: 3, 3: 7, 10: 1023, 63: 1<<63 - 1, 64: math.MaxUint64}
+	for i, want := range cases {
+		if got := BucketBound(i); got != want {
+			t.Fatalf("BucketBound(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Every value lands in the bucket whose bound covers it and the
+	// previous bucket's bound does not.
+	var h Histogram
+	for _, v := range []uint64{0, 1, 5, 100, 1 << 40, math.MaxUint64} {
+		h = Histogram{}
+		h.Observe(v)
+		s := h.Snapshot()
+		for i, n := range s.Buckets {
+			if n == 0 {
+				continue
+			}
+			if v > BucketBound(i) {
+				t.Fatalf("value %d in bucket %d above its bound %d", v, i, BucketBound(i))
+			}
+			if i > 0 && v <= BucketBound(i-1) {
+				t.Fatalf("value %d in bucket %d but fits bucket %d", v, i, i-1)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	// 90 values of ~100ns, 10 of ~1ms: p50 covers the small cluster,
+	// p99 the large one, each exact to within one power of two.
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 < 100 || p50 >= 200 {
+		t.Fatalf("p50 = %d, want in [100, 200)", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 1_000_000 || p99 >= 2_000_000 {
+		t.Fatalf("p99 = %d, want in [1e6, 2e6)", p99)
+	}
+	if p0 := s.Quantile(0); p0 > 200 {
+		t.Fatalf("p0 = %d, want small", p0)
+	}
+	if p100 := s.Quantile(1); p100 < 1_000_000 {
+		t.Fatalf("p100 = %d, want >= 1e6", p100)
+	}
+	if m := s.Mean(); m < 100 || m > 200_000 {
+		t.Fatalf("Mean = %v out of range", m)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(-time.Second) // clamps to 0, must not wrap
+	h.ObserveDuration(3 * time.Microsecond)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Buckets[0] != 1 {
+		t.Fatalf("negative duration did not clamp: %+v", s)
+	}
+	if s.Sum != 3000 {
+		t.Fatalf("Sum = %d, want 3000", s.Sum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, each = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(uint64(w*each + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*each {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*each)
+	}
+}
+
+// TestHistogramObserveAllocs pins the acceptance criterion directly:
+// the record path allocates nothing.
+func TestHistogramObserveAllocs(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); n != 0 {
+		t.Fatalf("Observe allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.ObserveDuration(time.Millisecond) }); n != 0 {
+		t.Fatalf("ObserveDuration allocates %v per op, want 0", n)
+	}
+}
+
+// BenchmarkHistogramObserve pins the 0 allocs/op record path; run with
+// -benchmem to see it.
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := uint64(0)
+		for pb.Next() {
+			h.Observe(v)
+			v += 97
+		}
+	})
+}

@@ -1,0 +1,301 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintProm checks a Prometheus text exposition page (version 0.0.4)
+// for the structural mistakes a hand-rolled exporter can make: samples
+// without a declared family, duplicate or misplaced HELP/TYPE headers,
+// malformed label syntax or escapes, duplicate series, histogram
+// buckets that are non-monotone or missing their terminal +Inf bucket,
+// and +Inf buckets that disagree with _count. It returns the first
+// problem found, with its line number.
+//
+// It exists so every WriteProm output — and every live scrape a bench
+// performs — can be validated by the same rules a real scraper
+// applies, instead of trusting the writer.
+func LintProm(data []byte) error {
+	type famInfo struct {
+		typ     string
+		help    bool
+		sampled bool // a sample row has been seen
+	}
+	fams := make(map[string]*famInfo)
+	seen := make(map[string]bool) // full series (name + sorted labels)
+	type bucketState struct {
+		lastLe  float64
+		lastVal float64
+		infVal  float64
+		infSeen bool
+		line    int
+	}
+	buckets := make(map[string]*bucketState) // histogram series sans le
+	counts := make(map[string]float64)       // _count value per series
+
+	lines := strings.Split(string(data), "\n")
+	for ln, raw := range lines {
+		n := ln + 1
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: comment is neither HELP nor TYPE: %q", n, line)
+			}
+			name := fields[2]
+			f := fams[name]
+			if f == nil {
+				f = &famInfo{}
+				fams[name] = f
+			}
+			if f.sampled {
+				return fmt.Errorf("line %d: %s header for %q after its samples", n, fields[1], name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if f.help {
+					return fmt.Errorf("line %d: duplicate HELP for %q", n, name)
+				}
+				f.help = true
+			case "TYPE":
+				if f.typ != "" {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", n, name)
+				}
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE for %q missing a type", n, name)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q for %q", n, fields[3], name)
+				}
+				f.typ = fields[3]
+			}
+			continue
+		}
+
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", n, err)
+		}
+		base, f := name, fams[name]
+		if f == nil {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if b, ok := strings.CutSuffix(name, suf); ok {
+					if bf := fams[b]; bf != nil && bf.typ == "histogram" {
+						base, f = b, bf
+						break
+					}
+				}
+			}
+		}
+		if f == nil || f.typ == "" || !f.help {
+			return fmt.Errorf("line %d: sample %q has no preceding HELP+TYPE family", n, name)
+		}
+		f.sampled = true
+
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: sample %q has non-numeric value %q", n, name, value)
+		}
+
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		var leVal string
+		hasLe := false
+		for _, k := range keys {
+			if k == "le" {
+				leVal, hasLe = labels[k], true
+				continue
+			}
+			fmt.Fprintf(&sb, "%s=%q,", k, labels[k])
+		}
+		series := name + "{" + sb.String()
+		if hasLe {
+			series += `le="` + leVal + `"`
+		}
+		series += "}"
+		if seen[series] {
+			return fmt.Errorf("line %d: duplicate series %s", n, series)
+		}
+		seen[series] = true
+
+		if f.typ == "histogram" && strings.HasSuffix(name, "_bucket") && base != name {
+			if !hasLe {
+				return fmt.Errorf("line %d: histogram bucket %q without an le label", n, name)
+			}
+			key := name + "{" + sb.String() + "}"
+			st := buckets[key]
+			if st == nil {
+				st = &bucketState{lastLe: math.Inf(-1), lastVal: -1}
+				buckets[key] = st
+			}
+			st.line = n
+			if leVal == "+Inf" {
+				st.infSeen = true
+				st.infVal = v
+				if v < st.lastVal {
+					return fmt.Errorf("line %d: histogram %s +Inf bucket %v below prior bucket %v", n, key, v, st.lastVal)
+				}
+				continue
+			}
+			if st.infSeen {
+				return fmt.Errorf("line %d: histogram %s bucket after its +Inf bucket", n, key)
+			}
+			le, err := strconv.ParseFloat(leVal, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: histogram %s has non-numeric le %q", n, key, leVal)
+			}
+			if le <= st.lastLe {
+				return fmt.Errorf("line %d: histogram %s le %v not increasing past %v", n, key, le, st.lastLe)
+			}
+			if v < st.lastVal {
+				return fmt.Errorf("line %d: histogram %s bucket count %v decreased from %v", n, key, v, st.lastVal)
+			}
+			st.lastLe, st.lastVal = le, v
+		}
+		if f.typ == "histogram" && strings.HasSuffix(name, "_count") && base != name {
+			counts[strings.TrimSuffix(name, "_count")+"_bucket{"+sb.String()+"}"] = v
+		}
+	}
+
+	for key, st := range buckets {
+		if !st.infSeen {
+			return fmt.Errorf("line %d: histogram %s has no terminal +Inf bucket", st.line, key)
+		}
+		if c, ok := counts[key]; ok && c != st.infVal {
+			return fmt.Errorf("histogram %s: _count %v disagrees with +Inf bucket %v", key, c, st.infVal)
+		}
+	}
+	return nil
+}
+
+// parsePromSample splits one exposition sample line into its metric
+// name, label map, and value string, validating label syntax and
+// escape sequences along the way.
+func parsePromSample(line string) (name string, labels map[string]string, value string, err error) {
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return "", nil, "", fmt.Errorf("sample with no metric name: %q", line)
+	}
+	name = line[:i]
+	labels = make(map[string]string)
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++ // skip escaped char
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, "", fmt.Errorf("unterminated label block: %q", line)
+		}
+		if err := parsePromLabels(rest[1:end], labels); err != nil {
+			return "", nil, "", err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", nil, "", fmt.Errorf("sample has %d value fields: %q", len(fields), line)
+	}
+	return name, labels, fields[0], nil
+}
+
+func parsePromLabels(s string, out map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair in %q", s)
+		}
+		key := s[:eq]
+		for k := 0; k < len(key); k++ {
+			if !isNameChar(key[k], k == 0) || key[k] == ':' {
+				return fmt.Errorf("invalid label name %q", key)
+			}
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label %q value not quoted", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for j := 0; j < len(s); j++ {
+			c := s[j]
+			if c == '\\' {
+				if j+1 >= len(s) {
+					return fmt.Errorf("label %q has a trailing backslash", key)
+				}
+				switch s[j+1] {
+				case '\\', '"':
+					val.WriteByte(s[j+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("label %q has invalid escape \\%c", key, s[j+1])
+				}
+				j++
+				continue
+			}
+			if c == '"' {
+				closed = true
+				s = s[j+1:]
+				break
+			}
+			if c == '\n' {
+				return fmt.Errorf("label %q has a raw newline", key)
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return fmt.Errorf("label %q value not terminated", key)
+		}
+		if _, dup := out[key]; dup {
+			return fmt.Errorf("duplicate label %q", key)
+		}
+		out[key] = val.String()
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return fmt.Errorf("unexpected byte %q after label %q", s[0], key)
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// populatedSnapshot fills every section, so the lint pass exercises
+// each family WriteProm can emit, histograms included.
+func populatedSnapshot() Snapshot {
+	var s Snapshot
+	s.Rotation.Compiles = 7
+	s.Rotation.PrefetchCompiles = 3
+	s.Rotation.Cache.Hits = 42
+	s.Rotation.Cache.Len = 3
+	s.Rotation.Cache.PerShard = []CacheShardStats{{Hits: 40}, {Hits: 2}}
+	s.Resume.Accepts = 5
+	s.Resume.RejectedExpired = 2
+	s.Shape.ShapedFrames = 11
+	s.Dgram.DataSent = 9
+	for _, v := range []uint64{0, 120, 950, 4096, 1 << 20} {
+		s.Rotation.DemandCompileNanos.Buckets[bucketOf(v)]++
+		s.Rotation.DemandCompileNanos.Count++
+		s.Rotation.DemandCompileNanos.Sum += v
+		s.Latency.EpochBoundary.Buckets[bucketOf(v)]++
+		s.Latency.EpochBoundary.Count++
+		s.Latency.EpochBoundary.Sum += v
+		s.Dgram.SendBatchSizes.Buckets[bucketOf(v%64)]++
+		s.Dgram.SendBatchSizes.Count++
+		s.Dgram.SendBatchSizes.Sum += v % 64
+	}
+	return s
+}
+
+func bucketOf(v uint64) int {
+	var h Histogram
+	h.Observe(v)
+	s := h.Snapshot()
+	for i, n := range s.Buckets {
+		if n != 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// TestWritePromLint is the exposition self-check satellite: every
+// WriteProm output — empty, populated, and fleet-merged — must pass
+// the same structural rules a real scraper applies.
+func TestWritePromLint(t *testing.T) {
+	var empty Snapshot
+	pop := populatedSnapshot()
+
+	for name, render := range map[string]func(sb *strings.Builder) error{
+		"empty":     func(sb *strings.Builder) error { return WriteProm(sb, empty) },
+		"populated": func(sb *strings.Builder) error { return WriteProm(sb, pop) },
+		"fleet": func(sb *strings.Builder) error {
+			return WriteFleetProm(sb, []FleetSnapshot{
+				{Backend: "b0", Snap: pop},
+				{Backend: `we"ird\name`, Snap: empty},
+				{Backend: "b2", Snap: pop},
+			})
+		},
+	} {
+		var sb strings.Builder
+		if err := render(&sb); err != nil {
+			t.Fatalf("%s: render: %v", name, err)
+		}
+		if err := LintProm([]byte(sb.String())); err != nil {
+			t.Errorf("%s: lint: %v\n%s", name, err, sb.String())
+		}
+	}
+}
+
+func TestWritePromHistogramFamilies(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteProm(&sb, populatedSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE protoobf_compile_demand_seconds histogram",
+		`protoobf_compile_demand_seconds_bucket{le="+Inf"} 5`,
+		"protoobf_compile_demand_seconds_count 5",
+		"protoobf_epoch_boundary_seconds_sum",
+		`protoobf_dgram_send_batch_size_bucket{le="+Inf"} 5`,
+		"protoobf_build_info{version=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFleetPromMergesFamilies(t *testing.T) {
+	var sb strings.Builder
+	err := WriteFleetProm(&sb, []FleetSnapshot{
+		{Backend: "alpha", Snap: populatedSnapshot()},
+		{Backend: "beta", Snap: Snapshot{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if n := strings.Count(out, "# TYPE protoobf_rotation_compiles_total "); n != 1 {
+		t.Fatalf("family header appears %d times, want 1\n%s", n, out)
+	}
+	for _, want := range []string{
+		`protoobf_rotation_compiles_total{backend="alpha"} 7`,
+		`protoobf_rotation_compiles_total{backend="beta"} 0`,
+		`protoobf_compile_demand_seconds_bucket{backend="alpha",le="+Inf"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLintPromRejects proves the linter actually catches the mistakes
+// it exists for — a linter that passes everything pins nothing.
+func TestLintPromRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without family": "protoobf_x_total 1\n",
+		"duplicate help":        "# HELP m a\n# HELP m b\n# TYPE m counter\nm 1\n",
+		"duplicate type":        "# HELP m a\n# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"unknown type":          "# HELP m a\n# TYPE m banana\nm 1\n",
+		"header after samples":  "# HELP m a\n# TYPE m counter\nm 1\n# HELP m late\n",
+		"duplicate series":      "# HELP m a\n# TYPE m counter\nm{x=\"1\"} 1\nm{x=\"1\"} 2\n",
+		"bad escape":            "# HELP m a\n# TYPE m counter\nm{x=\"\\t\"} 1\n",
+		"non-numeric":           "# HELP m a\n# TYPE m counter\nm NaNope\n",
+		"bucket without le":     "# HELP m a\n# TYPE m histogram\nm_bucket 1\nm_sum 1\nm_count 1\n",
+		"non-monotone buckets": "# HELP m a\n# TYPE m histogram\n" +
+			"m_bucket{le=\"1\"} 5\nm_bucket{le=\"2\"} 3\nm_bucket{le=\"+Inf\"} 5\nm_sum 9\nm_count 5\n",
+		"non-increasing le": "# HELP m a\n# TYPE m histogram\n" +
+			"m_bucket{le=\"2\"} 1\nm_bucket{le=\"2\"} 2\nm_bucket{le=\"+Inf\"} 2\nm_sum 3\nm_count 2\n",
+		"missing +Inf": "# HELP m a\n# TYPE m histogram\n" +
+			"m_bucket{le=\"1\"} 1\nm_sum 1\nm_count 1\n",
+		"count disagrees with +Inf": "# HELP m a\n# TYPE m histogram\n" +
+			"m_bucket{le=\"1\"} 1\nm_bucket{le=\"+Inf\"} 1\nm_sum 1\nm_count 4\n",
+	}
+	for name, page := range cases {
+		if err := LintProm([]byte(page)); err == nil {
+			t.Errorf("%s: lint accepted bad page:\n%s", name, page)
+		}
+	}
+	if err := LintProm([]byte("# HELP m a\n# TYPE m histogram\n" +
+		"m_bucket{le=\"1\"} 1\nm_bucket{le=\"+Inf\"} 2\nm_sum 3\nm_count 2\n")); err != nil {
+		t.Errorf("lint rejected a valid histogram: %v", err)
+	}
+}

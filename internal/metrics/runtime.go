@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // CacheCounters counts one cache shard's traffic. The zero value is
@@ -93,6 +94,13 @@ type RotationCounters struct {
 	// rotation falls back to compiling, so these cost time, not
 	// correctness.
 	ArtifactErrors atomic.Uint64
+	// DemandCompileNanos is the duration distribution of compiles paid
+	// for by a session on its hot path; PrefetchCompileNanos the
+	// distribution of compiles a prefetch daemon ran ahead of need.
+	// Artifact-store loads are not included — they are loads, not
+	// compiles.
+	DemandCompileNanos   Histogram
+	PrefetchCompileNanos Histogram
 }
 
 // Snapshot copies the counters into a RotationStats (without cache
@@ -103,31 +111,35 @@ type RotationCounters struct {
 func (c *RotationCounters) Snapshot() RotationStats {
 	prefetch := c.PrefetchCompiles.Load()
 	return RotationStats{
-		Compiles:         c.Compiles.Load(),
-		PrefetchCompiles: prefetch,
-		CompileDedup:     c.CompileDedup.Load(),
-		CompileErrors:    c.CompileErrors.Load(),
-		Rekeys:           c.Rekeys.Load(),
-		RekeyRollbacks:   c.RekeyRollbacks.Load(),
-		ArtifactLoads:    c.ArtifactLoads.Load(),
-		ArtifactSaves:    c.ArtifactSaves.Load(),
-		ArtifactErrors:   c.ArtifactErrors.Load(),
+		Compiles:             c.Compiles.Load(),
+		PrefetchCompiles:     prefetch,
+		CompileDedup:         c.CompileDedup.Load(),
+		CompileErrors:        c.CompileErrors.Load(),
+		Rekeys:               c.Rekeys.Load(),
+		RekeyRollbacks:       c.RekeyRollbacks.Load(),
+		ArtifactLoads:        c.ArtifactLoads.Load(),
+		ArtifactSaves:        c.ArtifactSaves.Load(),
+		ArtifactErrors:       c.ArtifactErrors.Load(),
+		DemandCompileNanos:   c.DemandCompileNanos.Snapshot(),
+		PrefetchCompileNanos: c.PrefetchCompileNanos.Snapshot(),
 	}
 }
 
 // RotationStats is one dialect family's compile activity at snapshot
 // time.
 type RotationStats struct {
-	Compiles         uint64
-	PrefetchCompiles uint64
-	CompileDedup     uint64
-	CompileErrors    uint64
-	Rekeys           uint64
-	RekeyRollbacks   uint64
-	ArtifactLoads    uint64
-	ArtifactSaves    uint64
-	ArtifactErrors   uint64
-	Cache            CacheStats
+	Compiles             uint64
+	PrefetchCompiles     uint64
+	CompileDedup         uint64
+	CompileErrors        uint64
+	Rekeys               uint64
+	RekeyRollbacks       uint64
+	ArtifactLoads        uint64
+	ArtifactSaves        uint64
+	ArtifactErrors       uint64
+	DemandCompileNanos   HistogramStats
+	PrefetchCompileNanos HistogramStats
+	Cache                CacheStats
 }
 
 // DemandCompiles returns the compiles a session paid for on its hot
@@ -271,6 +283,10 @@ type ShapeCounters struct {
 	// UnknownKindRejects counts frames rejected for carrying an
 	// unassigned kind byte (above frame.KindMax).
 	UnknownKindRejects atomic.Uint64
+	// DelayHist is the per-frame distribution of the injected pacing
+	// delay, in nanoseconds (DelayNanos is its running sum plus any
+	// delay injected outside shaped data frames).
+	DelayHist Histogram
 }
 
 // Snapshot copies the counters into a ShapeStats.
@@ -284,6 +300,7 @@ func (c *ShapeCounters) Snapshot() ShapeStats {
 		CoverDropped:       c.CoverDropped.Load(),
 		UnshapeRejects:     c.UnshapeRejects.Load(),
 		UnknownKindRejects: c.UnknownKindRejects.Load(),
+		DelayHist:          c.DelayHist.Snapshot(),
 	}
 }
 
@@ -298,6 +315,7 @@ type ShapeStats struct {
 	CoverDropped       uint64
 	UnshapeRejects     uint64
 	UnknownKindRejects uint64
+	DelayHist          HistogramStats
 }
 
 // DgramCounters counts the datagram session layer's activity on one
@@ -348,6 +366,12 @@ type DgramCounters struct {
 	// RejectedMalformed counts packets rejected before parsing: short
 	// header, length exceeding the packet, unknown frame kind.
 	RejectedMalformed atomic.Uint64
+	// SendBatchSizes and RecvBatchSizes are the distribution of batch
+	// sizes moved per SendBatch/RecvBatch call (packets staged per
+	// send, packets drained per receive) — how benches see whether the
+	// batching extensions actually amortize.
+	SendBatchSizes Histogram
+	RecvBatchSizes Histogram
 }
 
 // Snapshot copies the counters into a DgramStats.
@@ -367,6 +391,8 @@ func (c *DgramCounters) Snapshot() DgramStats {
 		RejectedFuture:    c.RejectedFuture.Load(),
 		RejectedParse:     c.RejectedParse.Load(),
 		RejectedMalformed: c.RejectedMalformed.Load(),
+		SendBatchSizes:    c.SendBatchSizes.Snapshot(),
+		RecvBatchSizes:    c.RecvBatchSizes.Snapshot(),
 	}
 }
 
@@ -387,6 +413,8 @@ type DgramStats struct {
 	RejectedFuture    uint64
 	RejectedParse     uint64
 	RejectedMalformed uint64
+	SendBatchSizes    HistogramStats
+	RecvBatchSizes    HistogramStats
 }
 
 // Rejects returns the total packets turned away, across every reject
@@ -412,6 +440,7 @@ type Snapshot struct {
 	Resume   ResumeStats
 	Shape    ShapeStats
 	Dgram    DgramStats
+	Latency  LatencyStats
 }
 
 // String renders the snapshot as an indented block, the format the
@@ -439,5 +468,22 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&sb, "dgram:    data sent=%d (zo=%d overhead=%dB) recv=%d control=%d covers sent=%d dropped=%d rekeys=%d dups=%d rejects=%d (stale=%d future=%d parse=%d malformed=%d)\n",
 		d.DataSent, d.ZeroOverheadSent, d.OverheadBytes(), d.DataRecv, d.ControlSent, d.CoverSent, d.CoverDropped,
 		d.RekeysApplied, d.RekeyDups, d.Rejects(), d.RejectedStale, d.RejectedFuture, d.RejectedParse, d.RejectedMalformed)
+	l := s.Latency
+	fmt.Fprintf(&sb, "latency:  compile demand=%s prefetch=%s boundary=%s rekey=%s resume=%s (p50/p99 of %d/%d/%d/%d/%d samples)\n",
+		quantPair(r.DemandCompileNanos), quantPair(r.PrefetchCompileNanos),
+		quantPair(l.EpochBoundary), quantPair(l.RekeyRTT), quantPair(l.ResumeRTT),
+		r.DemandCompileNanos.Count, r.PrefetchCompileNanos.Count,
+		l.EpochBoundary.Count, l.RekeyRTT.Count, l.ResumeRTT.Count)
 	return sb.String()
+}
+
+// quantPair renders a nanosecond histogram's p50/p99 compactly for
+// the -metrics text block, or "-" before any observation.
+func quantPair(h HistogramStats) string {
+	if h.Count == 0 {
+		return "-"
+	}
+	p50 := time.Duration(h.Quantile(0.50)).Round(time.Microsecond)
+	p99 := time.Duration(h.Quantile(0.99)).Round(time.Microsecond)
+	return fmt.Sprintf("%v/%v", p50, p99)
 }

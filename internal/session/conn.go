@@ -18,6 +18,7 @@ import (
 	"protoobf/internal/rng"
 	"protoobf/internal/session/sched"
 	"protoobf/internal/session/shape"
+	"protoobf/internal/trace"
 	"protoobf/internal/wire"
 )
 
@@ -177,6 +178,21 @@ type Options struct {
 	// one. Requires a Versioner that can export tickets (TicketSealer +
 	// Lineage).
 	ReissueTickets bool
+
+	// Latency, when non-nil, receives the session's latency
+	// observations — epoch-boundary crossings, rekey handshake round
+	// trips, resume handshake round trips — how the endpoint layer
+	// aggregates per-session timings into one histogram block.
+	Latency *metrics.LatencyCounters
+
+	// Trace, when non-nil, receives the session's structured lifecycle
+	// events (open/close, epoch crossings, rekey and resume handshake
+	// steps, cover bursts) in a bounded ring shared across the
+	// endpoint. TraceID labels this session's events in the ring;
+	// endpoints allocate it via Trace.NextSession. A nil Trace costs a
+	// nil-check per would-be event.
+	Trace   *trace.Ring
+	TraceID uint64
 }
 
 // Conn is an obfuscated message session over a byte stream: Send
@@ -259,13 +275,29 @@ type Conn struct {
 	stopCover     chan struct{} // closed by stopCoverLoop; nil without a cover goroutine
 	coverDone     chan struct{} // closed when the cover goroutine has exited
 	stopCoverOnce sync.Once
+
+	// Observability (see Options.Latency/Trace): lat receives latency
+	// histograms, tr lifecycle events labeled traceID. Both nil-safe.
+	lat     *metrics.LatencyCounters
+	tr      *trace.Ring
+	traceID uint64
 }
 
 // rekeyProposal is an in-flight rekey handshake: we proposed switching
-// to seed from epoch from onward and await the peer's ack.
+// to seed from epoch from onward and await the peer's ack. at is when
+// the proposal hit the wire — the rekey RTT measurement datum (zero on
+// proposals reconstructed from the wire for matching).
 type rekeyProposal struct {
 	from uint64
 	seed int64
+	at   time.Time
+}
+
+// matches reports whether an ack for (from, seed) completes this
+// proposal. Field comparison, not struct equality: the timestamp is
+// local bookkeeping the peer never echoes.
+func (p *rekeyProposal) matches(from uint64, seed int64) bool {
+	return p != nil && p.from == from && p.seed == seed
 }
 
 // rekeyAbandonLead is how many epochs of schedule progress past an
@@ -304,6 +336,7 @@ func NewConnOpts(rw io.ReadWriter, versions Versioner, opts Options) (*Conn, err
 	// constructor that fails must not leave a goroutine writing decoys
 	// into the stream.
 	c.startCover(opts)
+	c.tr.Emit(c.traceID, trace.KindSessionOpen, c.Epoch(), "")
 	return c, nil
 }
 
@@ -365,6 +398,9 @@ func newConn(rw io.ReadWriter, versions Versioner, opts Options) *Conn {
 		wbuf:            frame.GetBuffer(),
 		rbuf:            frame.GetBuffer(),
 		shapeStats:      opts.ShapeStats,
+		lat:             opts.Latency,
+		tr:              opts.Trace,
+		traceID:         opts.TraceID,
 	}
 	if opts.Shape != nil {
 		c.shaper = newShaper(opts, versions)
@@ -407,6 +443,7 @@ func (c *Conn) Release() {
 // stream the caller keeps owning can keep using Release instead. The
 // session must not be used after Close.
 func (c *Conn) Close() error {
+	c.tr.Emit(c.traceID, trace.KindSessionClose, c.Epoch(), "")
 	var err error
 	if cl, ok := c.rw.(io.Closer); ok {
 		err = cl.Close()
@@ -470,7 +507,9 @@ func (c *Conn) syncSchedule() error {
 	if c.schedule == nil {
 		return nil
 	}
-	if target := c.schedule.Epoch(); target > c.Epoch() {
+	if before := c.Epoch(); c.schedule.Epoch() > before {
+		target := c.schedule.Epoch()
+		start := time.Now()
 		// Compile outside c.mu (it costs real CPU); the gate check and
 		// the epoch bump share one c.mu section with rekey's proposal
 		// registration, so a proposal cannot slip in between the check
@@ -492,6 +531,12 @@ func (c *Conn) syncSchedule() error {
 		}
 		c.t.Advance(target)
 		c.mu.Unlock()
+		if target > before {
+			if c.lat != nil {
+				c.lat.EpochBoundary.ObserveDuration(time.Since(start))
+			}
+			c.tr.Emit(c.traceID, trace.KindEpochCross, target, "")
+		}
 	}
 	return c.maybeAutoRekey()
 }
@@ -703,7 +748,7 @@ func (c *Conn) rekey(seed int64) (from uint64, ok bool, err error) {
 		return 0, false, nil
 	}
 	from = c.t.Epoch() + 1
-	c.pending = &rekeyProposal{from: from, seed: seed}
+	c.pending = &rekeyProposal{from: from, seed: seed, at: time.Now()}
 	c.abandoned = nil // a new proposal supersedes any abandoned one
 	c.lastRekeyFrom = from
 	prevBase := c.rekeyBase
@@ -711,7 +756,7 @@ func (c *Conn) rekey(seed int64) (from uint64, ok bool, err error) {
 	c.mu.Unlock()
 	if err := c.sendControl(frame.KindRekeyPropose, from, seed); err != nil {
 		c.mu.Lock()
-		if p := c.pending; p != nil && p.from == from && p.seed == seed {
+		if p := c.pending; p.matches(from, seed) {
 			c.pending = nil
 			// Restore the volume odometer datum too: a proposal that
 			// never reached the wire must not consume the traffic
@@ -722,6 +767,7 @@ func (c *Conn) rekey(seed int64) (from uint64, ok bool, err error) {
 		c.mu.Unlock()
 		return 0, false, err
 	}
+	c.tr.Emit(c.traceID, trace.KindRekeyPropose, from, "")
 	return from, true, nil
 }
 
@@ -944,6 +990,7 @@ func (c *Conn) handlePropose(from uint64, seed int64) error {
 	if err := c.Advance(from); err != nil {
 		return err
 	}
+	c.tr.Emit(c.traceID, trace.KindRekeyAck, from, "peer")
 	// The rekey invalidated any ticket the peer was holding (its
 	// lineage predates the new family): re-arm it with a current one.
 	return c.maybeReissue()
@@ -954,12 +1001,14 @@ func (c *Conn) handlePropose(from uint64, seed int64) error {
 // acked, so a late ack must still switch ours). Acks matching neither
 // (stale, superseded by a tie-break) are ignored.
 func (c *Conn) handleAck(from uint64, seed int64) error {
-	match := rekeyProposal{from: from, seed: seed}
+	var proposedAt time.Time
 	c.mu.Lock()
 	switch {
-	case c.pending != nil && *c.pending == match:
+	case c.pending.matches(from, seed):
+		proposedAt = c.pending.at
 		c.pending = nil
-	case c.abandoned != nil && *c.abandoned == match:
+	case c.abandoned.matches(from, seed):
+		proposedAt = c.abandoned.at
 		c.abandoned = nil
 	default:
 		c.mu.Unlock()
@@ -972,6 +1021,10 @@ func (c *Conn) handleAck(from uint64, seed int64) error {
 	if err := c.Advance(from); err != nil {
 		return err
 	}
+	if c.lat != nil && !proposedAt.IsZero() {
+		c.lat.RekeyRTT.ObserveDuration(time.Since(proposedAt))
+	}
+	c.tr.Emit(c.traceID, trace.KindRekeyAck, from, "")
 	// Same as handlePropose: the committed rekey spent the peer's old
 	// ticket lineage, so push a fresh one if re-issue is on.
 	return c.maybeReissue()
@@ -996,6 +1049,7 @@ func (c *Conn) applyRekey(from uint64, seed int64) error {
 // ack never reached the stream). Best-effort: a Versioner without
 // rollback support keeps the switch, which is the pre-rollback behavior.
 func (c *Conn) unapplyRekey(from uint64, seed int64) {
+	c.tr.Emit(c.traceID, trace.KindRekeyRollback, from, "")
 	type dropper interface {
 		DropRekey(from uint64, seed int64) error
 	}

@@ -40,6 +40,7 @@ import (
 	"protoobf/internal/rng"
 	"protoobf/internal/session"
 	"protoobf/internal/session/sched"
+	"protoobf/internal/trace"
 	"protoobf/internal/wire"
 )
 
@@ -123,6 +124,12 @@ type Options struct {
 	// how the endpoint layer aggregates per-session datagram events
 	// into one observable counter block.
 	Stats *metrics.DgramCounters
+
+	// Trace, when non-nil, receives the session's lifecycle events
+	// (packet rejects, cover packets), labeled TraceID. A nil ring
+	// disables tracing at nil-check cost.
+	Trace   *trace.Ring
+	TraceID uint64
 }
 
 // Conn is an obfuscated message session over a packet transport: Send
@@ -145,6 +152,8 @@ type Conn struct {
 	redundancy int
 	schedule   *sched.Scheduler
 	stats      *metrics.DgramCounters
+	tr         *trace.Ring
+	traceID    uint64
 
 	// horizon is the receive/send anchor: the highest epoch decoded or
 	// scheduled so far. Monotonic, lock-free reads.
@@ -226,6 +235,8 @@ func NewConn(rw io.ReadWriter, versions session.Versioner, opts Options) (*Conn,
 		redundancy: redundancy,
 		schedule:   opts.Schedule,
 		stats:      stats,
+		tr:         opts.Trace,
+		traceID:    opts.TraceID,
 		byGraph:    make(map[*graph.Graph]uint64),
 		mrng:       rng.New(0xd6a4),
 		wbuf:       frame.GetBuffer(),
@@ -477,6 +488,7 @@ func (c *Conn) SendBatch(ms []*msgtree.Message) error {
 		sent = uint64(len(pkts))
 	}
 	c.countDataSent(sent, wireBytes)
+	c.stats.SendBatchSizes.Observe(sent)
 	return nil
 }
 
@@ -596,6 +608,7 @@ func (c *Conn) SendCover() error {
 	}
 	c.stats.ControlSent.Add(1)
 	c.stats.CoverSent.Add(1)
+	c.tr.Emit(c.traceID, trace.KindCoverBurst, c.horizon.Load(), "")
 	return nil
 }
 
@@ -706,6 +719,7 @@ func (c *Conn) RecvBatch(max int) ([]*msgtree.Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.stats.RecvBatchSizes.Observe(uint64(n))
 	var out []*msgtree.Message
 	var memo dialectMemo
 	for i := 0; i < n; i++ {
@@ -755,11 +769,13 @@ func (c *Conn) decodeLocked(pkt []byte, memo *dialectMemo) (*msgtree.Message, er
 	}
 	if len(pkt) < frame.EpochHeaderLen {
 		c.stats.RejectedMalformed.Add(1)
+		c.tr.Emit(c.traceID, trace.KindDgramReject, 0, "malformed")
 		return nil, fmt.Errorf("dgram: packet of %d bytes is shorter than the %d-byte header", len(pkt), frame.EpochHeaderLen)
 	}
 	kind, n, epoch, err := frame.DecodeHeader(pkt[:frame.EpochHeaderLen])
 	if err != nil || kind > frame.KindMax || frame.EpochHeaderLen+n > len(pkt) {
 		c.stats.RejectedMalformed.Add(1)
+		c.tr.Emit(c.traceID, trace.KindDgramReject, 0, "malformed")
 		if err == nil {
 			err = fmt.Errorf("dgram: malformed packet header (kind %#02x, length %d of %d bytes)", kind, n, len(pkt))
 		}
@@ -777,11 +793,13 @@ func (c *Conn) decodeLocked(pkt []byte, memo *dialectMemo) (*msgtree.Message, er
 		// Data packets are never padded: trailing bytes mean tampering
 		// or a framing bug, not slack to skip over.
 		c.stats.RejectedMalformed.Add(1)
+		c.tr.Emit(c.traceID, trace.KindDgramReject, epoch, "malformed")
 		return nil, fmt.Errorf("dgram: data packet of %d bytes with %d-byte payload claim", len(pkt), n)
 	}
 	g, err := c.memoDialect(epoch, memo)
 	if err != nil {
 		c.stats.RejectedParse.Add(1)
+		c.tr.Emit(c.traceID, trace.KindDgramReject, epoch, "parse")
 		return nil, err
 	}
 	c.mu.Lock()
@@ -790,6 +808,7 @@ func (c *Conn) decodeLocked(pkt []byte, memo *dialectMemo) (*msgtree.Message, er
 	m, err := wire.Parse(g, body, r)
 	if err != nil {
 		c.stats.RejectedParse.Add(1)
+		c.tr.Emit(c.traceID, trace.KindDgramReject, epoch, "parse")
 		return nil, fmt.Errorf("dgram: epoch %d: %w", epoch, err)
 	}
 	c.advanceHorizon(epoch)
@@ -803,10 +822,12 @@ func (c *Conn) checkWindow(epoch uint64) (rejected bool, err error) {
 	h := c.horizon.Load()
 	if epoch+c.window < h {
 		c.stats.RejectedStale.Add(1)
+		c.tr.Emit(c.traceID, trace.KindDgramReject, epoch, "stale")
 		return true, fmt.Errorf("dgram: packet epoch %d is %d behind horizon %d (window %d)", epoch, h-epoch, h, c.window)
 	}
 	if epoch > h+c.window {
 		c.stats.RejectedFuture.Add(1)
+		c.tr.Emit(c.traceID, trace.KindDgramReject, epoch, "future")
 		return true, fmt.Errorf("dgram: packet epoch %d is %d ahead of horizon %d (window %d)", epoch, epoch-h, h, c.window)
 	}
 	return false, nil
@@ -821,12 +842,14 @@ func (c *Conn) handleControl(kind byte, hdrEpoch uint64, body []byte) error {
 	case frame.KindRekeyPropose:
 		if len(body) != frame.ControlLen {
 			c.stats.RejectedMalformed.Add(1)
+			c.tr.Emit(c.traceID, trace.KindDgramReject, hdrEpoch, "malformed")
 			return fmt.Errorf("dgram: rekey packet with %d-byte payload, want %d", len(body), frame.ControlLen)
 		}
 		c.maskControl(hdrEpoch, body)
 		from, seed, err := frame.DecodeControl(body)
 		if err != nil || from == 0 || from != hdrEpoch+1 {
 			c.stats.RejectedParse.Add(1)
+			c.tr.Emit(c.traceID, trace.KindDgramReject, hdrEpoch, "parse")
 			if err == nil {
 				err = fmt.Errorf("dgram: rekey boundary %d contradicts packet epoch %d", from, hdrEpoch)
 			}
@@ -838,6 +861,7 @@ func (c *Conn) handleControl(kind byte, hdrEpoch uint64, body []byte) error {
 		// stream-layer machinery with no datagram meaning: reject them
 		// countably rather than guessing.
 		c.stats.RejectedMalformed.Add(1)
+		c.tr.Emit(c.traceID, trace.KindDgramReject, hdrEpoch, "malformed")
 		return fmt.Errorf("dgram: frame kind %#02x has no datagram semantics", kind)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"protoobf/internal/frame"
 	"protoobf/internal/msgtree"
+	"protoobf/internal/trace"
 	"protoobf/internal/wire"
 )
 
@@ -127,6 +128,7 @@ func (c *Conn) candidateEpochs(cands []uint64) []uint64 {
 func (c *Conn) decodeZO(pkt []byte, memo *dialectMemo) (*msgtree.Message, error) {
 	if len(pkt) == 0 {
 		c.stats.RejectedMalformed.Add(1)
+		c.tr.Emit(c.traceID, trace.KindDgramReject, 0, "malformed")
 		return nil, errors.New("dgram: empty packet")
 	}
 	var cbuf [2*DefaultEpochWindow + 1]uint64
@@ -203,5 +205,6 @@ func (c *Conn) decodeZO(pkt []byte, memo *dialectMemo) (*msgtree.Message, error)
 		return m, nil
 	}
 	c.stats.RejectedParse.Add(1)
+	c.tr.Emit(c.traceID, trace.KindDgramReject, c.horizon.Load(), "parse")
 	return nil, fmt.Errorf("dgram: packet of %d bytes decoded under no candidate epoch (horizon %d, window %d)", len(pkt), c.horizon.Load(), c.window)
 }

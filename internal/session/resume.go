@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"protoobf/internal/frame"
+	"protoobf/internal/trace"
 )
 
 // Session migration: a live session's control-plane state — current
@@ -197,10 +199,13 @@ func compactLineage(froms []uint64, seeds []int64, epoch uint64) ([]uint64, []in
 }
 
 // resumeAwait is the resuming side's outstanding handshake: the epoch
-// the ticket re-attached at and the digest the acceptor's ack must echo.
+// the ticket re-attached at, the digest the acceptor's ack must echo,
+// and when the resume frame went out (the datum the handshake latency
+// histogram measures from).
 type resumeAwait struct {
 	epoch uint64
 	check [8]byte
+	at    time.Time
 }
 
 // ticketDigest derives the 8-byte digest a resume ack echoes, binding
@@ -334,7 +339,7 @@ func ResumeConn(rw io.ReadWriter, versions Versioner, opts Options, ticket []byt
 	c.lastRekeyFrom = st.lastRekeyFrom
 	c.rekeyBase = st.bytesMoved - st.sinceRekey
 	c.resumed = true
-	c.await = &resumeAwait{epoch: st.epoch, check: ticketDigest(ticket)}
+	c.await = &resumeAwait{epoch: st.epoch, check: ticketDigest(ticket), at: time.Now()}
 	c.mu.Unlock()
 	// The resume frame must be the first thing on the wire: everything
 	// sent after it — data, automatic rekey proposals from the schedule
@@ -354,6 +359,7 @@ func ResumeConn(rw io.ReadWriter, versions Versioner, opts Options, ticket []byt
 	// one had. The cover scheduler starts only now that the session is
 	// viable.
 	c.startCover(opts)
+	c.tr.Emit(c.traceID, trace.KindSessionOpen, st.epoch, "resume")
 	return c, nil
 }
 
@@ -371,6 +377,7 @@ func (c *Conn) handleResume(hdrEpoch uint64, ticket []byte) error {
 		if s := c.resumeStats; s != nil {
 			s.RejectedState.Add(1)
 		}
+		c.tr.Emit(c.traceID, trace.KindResumeReject, hdrEpoch, "state")
 		return errors.New("session: peer requested resume but versioner cannot open tickets")
 	}
 	cur := c.horizon()
@@ -378,6 +385,7 @@ func (c *Conn) handleResume(hdrEpoch uint64, ticket []byte) error {
 		if s := c.resumeStats; s != nil {
 			s.RejectedExpired.Add(1)
 		}
+		c.tr.Emit(c.traceID, trace.KindResumeReject, hdrEpoch, "expired")
 		return fmt.Errorf("session: resume at epoch %d implausibly far ahead of current %d (max lead %d)",
 			hdrEpoch, cur, c.MaxEpochLead)
 	}
@@ -385,6 +393,7 @@ func (c *Conn) handleResume(hdrEpoch uint64, ticket []byte) error {
 		if s := c.resumeStats; s != nil {
 			s.RejectedExpired.Add(1)
 		}
+		c.tr.Emit(c.traceID, trace.KindResumeReject, hdrEpoch, "expired")
 		return fmt.Errorf("session: resumption ticket expired: epoch %d is %d behind current %d (window %d)",
 			hdrEpoch, cur-hdrEpoch, cur, c.resumeWindow)
 	}
@@ -401,6 +410,7 @@ func (c *Conn) handleResume(hdrEpoch uint64, ticket []byte) error {
 		if s := c.resumeStats; s != nil {
 			s.RejectedState.Add(1)
 		}
+		c.tr.Emit(c.traceID, trace.KindResumeReject, hdrEpoch, "state")
 		return errors.New("session: resume on an established session")
 	}
 	plain, err := sealer.OpenResume(ticket)
@@ -408,6 +418,7 @@ func (c *Conn) handleResume(hdrEpoch uint64, ticket []byte) error {
 		if s := c.resumeStats; s != nil {
 			s.RejectedForged.Add(1)
 		}
+		c.tr.Emit(c.traceID, trace.KindResumeReject, hdrEpoch, "forged")
 		return fmt.Errorf("session: resume: %w", err)
 	}
 	st, err := decodeState(plain)
@@ -415,6 +426,7 @@ func (c *Conn) handleResume(hdrEpoch uint64, ticket []byte) error {
 		if s := c.resumeStats; s != nil {
 			s.RejectedForged.Add(1)
 		}
+		c.tr.Emit(c.traceID, trace.KindResumeReject, hdrEpoch, "forged")
 		return err
 	}
 	if st.epoch != hdrEpoch {
@@ -423,6 +435,7 @@ func (c *Conn) handleResume(hdrEpoch uint64, ticket []byte) error {
 		if s := c.resumeStats; s != nil {
 			s.RejectedForged.Add(1)
 		}
+		c.tr.Emit(c.traceID, trace.KindResumeReject, hdrEpoch, "forged")
 		return fmt.Errorf("session: resume header epoch %d contradicts sealed epoch %d", hdrEpoch, st.epoch)
 	}
 	// Replay gate, after authenticity (so garbage cannot pollute the
@@ -433,12 +446,14 @@ func (c *Conn) handleResume(hdrEpoch uint64, ticket []byte) error {
 		if s := c.resumeStats; s != nil {
 			s.RejectedReplayed.Add(1)
 		}
+		c.tr.Emit(c.traceID, trace.KindResumeReject, hdrEpoch, "replayed")
 		return errors.New("session: resumption ticket already presented (tickets are single-use)")
 	}
 	if err := lin.ImportRekeys(st.froms, st.seeds); err != nil {
 		if s := c.resumeStats; s != nil {
 			s.RejectedState.Add(1)
 		}
+		c.tr.Emit(c.traceID, trace.KindResumeReject, hdrEpoch, "state")
 		return fmt.Errorf("session: resume: %w", err)
 	}
 	if len(st.froms) > 0 {
@@ -473,6 +488,7 @@ func (c *Conn) handleResume(hdrEpoch uint64, ticket []byte) error {
 	if s := c.resumeStats; s != nil {
 		s.Accepts.Add(1)
 	}
+	c.tr.Emit(c.traceID, trace.KindResumeAccept, st.epoch, "")
 	// The ticket just presented is spent (single-use under a replay
 	// cache): if re-issue is on, immediately re-arm the peer with a
 	// fresh ticket for its next migration. Stream ordering puts this
@@ -508,12 +524,17 @@ func (c *Conn) handleResumeAck(hdrEpoch uint64, payload []byte) error {
 	epoch := binary.BigEndian.Uint64(payload[4:12])
 	var check [8]byte
 	copy(check[:], payload[12:20])
+	var sentAt time.Time
 	c.mu.Lock()
 	if a := c.await; a != nil && a.epoch == epoch && a.check == check {
+		sentAt = a.at
 		c.await = nil
 		c.resumeDrops = 0
 	}
 	c.mu.Unlock()
+	if c.lat != nil && !sentAt.IsZero() {
+		c.lat.ResumeRTT.ObserveDuration(time.Since(sentAt))
+	}
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"protoobf/internal/frame"
 	"protoobf/internal/metrics"
 	"protoobf/internal/session/shape"
+	"protoobf/internal/trace"
 )
 
 // Traffic shaping: the session's answer to the statistical observer.
@@ -148,6 +149,7 @@ func (c *Conn) sendShaped(epoch uint64, payload []byte) error {
 		if st := sh.stats; st != nil {
 			st.ShapedFrames.Add(1)
 			st.PadBytes.Add(uint64(pad))
+			st.DelayHist.ObserveDuration(delay)
 			if delay > 0 {
 				st.DelayNanos.Add(uint64(delay))
 			}
@@ -233,6 +235,7 @@ func (c *Conn) emitCoverIfIdle() (bool, error) {
 	if st := sh.stats; st != nil {
 		st.CoverSent.Add(1)
 	}
+	c.tr.Emit(c.traceID, trace.KindCoverBurst, epoch, "")
 	return true, nil
 }
 

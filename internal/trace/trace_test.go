@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingKeepsNewestWithMonotoneSeq(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 100; i++ {
+		r.Emit(1, KindEpochCross, uint64(i), "")
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("len = %d, want 8", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(92 + i); e.Seq != want {
+			t.Fatalf("event %d: seq = %d, want %d (newest-8 rule)", i, e.Seq, want)
+		}
+		if want := uint64(92 + i); e.Epoch != want {
+			t.Fatalf("event %d: epoch = %d, want %d", i, e.Epoch, want)
+		}
+		if i > 0 && evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("seq not strictly increasing at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestRingBeforeWrap(t *testing.T) {
+	r := New(16)
+	for i := 0; i < 5; i++ {
+		r.Emit(0, KindSessionOpen, uint64(i), "")
+	}
+	evs := r.Events()
+	if len(evs) != 5 || r.Len() != 5 {
+		t.Fatalf("len = %d/%d, want 5", len(evs), r.Len())
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestRingClockInjection(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	tick := 0
+	r := NewWithClock(4, func() time.Time {
+		tick++
+		return now.Add(time.Duration(tick) * time.Second)
+	})
+	r.Emit(1, KindRekeyPropose, 9, "")
+	r.Emit(1, KindRekeyAck, 9, "")
+	evs := r.Events()
+	if evs[0].At != now.Add(1*time.Second) || evs[1].At != now.Add(2*time.Second) {
+		t.Fatalf("injected clock not used: %v, %v", evs[0].At, evs[1].At)
+	}
+	if !evs[1].At.After(evs[0].At) {
+		t.Fatal("timestamps not ordered")
+	}
+}
+
+func TestRingConcurrentEmitters(t *testing.T) {
+	r := New(64)
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := r.NextSession()
+			for i := 0; i < each; i++ {
+				r.Emit(sess, KindEpochCross, uint64(i), "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := r.Events()
+	if len(evs) != 64 {
+		t.Fatalf("len = %d, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("seq gap after concurrent emit: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if last := evs[len(evs)-1].Seq; last != workers*each-1 {
+		t.Fatalf("final seq = %d, want %d", last, workers*each-1)
+	}
+}
+
+func TestNextSessionUnique(t *testing.T) {
+	r := New(4)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		id := r.NextSession()
+		if id == 0 || seen[id] {
+			t.Fatalf("session id %d reused or zero", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilRingIsDisabled(t *testing.T) {
+	var r *Ring
+	r.Emit(1, KindSessionOpen, 0, "") // must not panic
+	if r.Enabled() || r.Len() != 0 || r.Cap() != 0 || r.Events() != nil || r.NextSession() != 0 {
+		t.Fatal("nil ring not fully disabled")
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	r := New(4)
+	r.Emit(3, KindResumeReject, 17, "forged")
+	b, err := json.Marshal(r.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Event
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	e := back[0]
+	if e.Kind != KindResumeReject || e.Session != 3 || e.Epoch != 17 || e.Detail != "forged" {
+		t.Fatalf("round trip mangled event: %+v (json %s)", e, b)
+	}
+	if e.Kind.String() != "resume-reject" {
+		t.Fatalf("kind name = %q", e.Kind.String())
+	}
+}
+
+// BenchmarkEmitDisabled pins the acceptance criterion: the disabled
+// path is a nil-check, a few ns/op at most.
+func BenchmarkEmitDisabled(b *testing.B) {
+	var r *Ring
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(1, KindEpochCross, uint64(i), "")
+	}
+}
+
+func BenchmarkEmitEnabled(b *testing.B) {
+	r := New(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(1, KindEpochCross, uint64(i), "")
+	}
+}

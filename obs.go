@@ -1,0 +1,128 @@
+package protoobf
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"protoobf/internal/metrics"
+	"protoobf/internal/trace"
+)
+
+// TraceEvent is one session lifecycle event recorded by an endpoint
+// built WithTrace: a sequence number (the total order, immune to clock
+// steps), a timestamp, the event kind, the session the event belongs
+// to, and per-kind epoch/detail context. Events marshal to readable
+// JSON (kinds by name), which is what /trace.json serves.
+type TraceEvent = trace.Event
+
+// TraceKind identifies a TraceEvent's type. The kinds cover the
+// session control plane end to end: session open/close, epoch
+// crossings, the rekey handshake (propose, ack, rollback), the resume
+// handshake (accept, reject with reason), cover traffic, and datagram
+// packet rejects.
+type TraceKind = trace.Kind
+
+// The TraceKind values, re-exported so callers can filter Endpoint.Trace
+// output without importing internal packages.
+const (
+	TraceSessionOpen   = trace.KindSessionOpen
+	TraceSessionClose  = trace.KindSessionClose
+	TraceEpochCross    = trace.KindEpochCross
+	TraceRekeyPropose  = trace.KindRekeyPropose
+	TraceRekeyAck      = trace.KindRekeyAck
+	TraceRekeyRollback = trace.KindRekeyRollback
+	TraceResumeAccept  = trace.KindResumeAccept
+	TraceResumeReject  = trace.KindResumeReject
+	TraceCoverBurst    = trace.KindCoverBurst
+	TraceDgramReject   = trace.KindDgramReject
+)
+
+// ObsHandler returns the endpoint's observability surface as an
+// http.Handler, stdlib only:
+//
+//	/metrics        Prometheus text exposition of Endpoint.Metrics
+//	/snapshot.json  the same snapshot as JSON (machine-diffable)
+//	/trace.json     Endpoint.Trace as JSON (empty array without WithTrace)
+//	/debug/pprof/   the runtime profiles (CPU, heap, goroutines, ...)
+//
+// Mount it wherever the deployment serves HTTP, or hand it to ServeObs
+// to get a dedicated listener. Every route is read-only and safe to
+// leave enabled in production; /debug/pprof is the usual caveat (it
+// reveals internals, so bind the obs address to loopback or a
+// management network, never the obfuscated listener's address).
+func ObsHandler(ep *Endpoint) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, ep.Metrics())
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ep.Metrics())
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		evs := ep.Trace()
+		if evs == nil {
+			evs = []TraceEvent{}
+		}
+		json.NewEncoder(w).Encode(evs)
+	})
+	registerPprof(mux)
+	return mux
+}
+
+// registerPprof mounts the runtime profile handlers on mux — the same
+// routes net/http/pprof installs on http.DefaultServeMux, mounted
+// explicitly so the obs surface never depends on the global mux (and
+// never leaks onto servers that share it).
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ObsServer is a running observability listener (see ServeObs). Close
+// shuts the listener down; Addr reports the bound address, which is how
+// callers using ":0" learn the chosen port.
+type ObsServer struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// Addr returns the server's bound address (e.g. "127.0.0.1:49231").
+func (s *ObsServer) Addr() string { return s.l.Addr().String() }
+
+// Close stops the server. In-flight requests are abandoned — the obs
+// surface serves snapshots, nothing worth draining.
+func (s *ObsServer) Close() error { return s.srv.Close() }
+
+// ServeObs binds addr (host:port; use port 0 for an ephemeral port) and
+// serves ObsHandler(ep) on it in a background goroutine:
+//
+//	obs, err := protoobf.ServeObs("127.0.0.1:9090", ep)
+//	...
+//	defer obs.Close()
+//	// curl http://127.0.0.1:9090/metrics
+//
+// The returned server is already serving when ServeObs returns.
+func ServeObs(addr string, ep *Endpoint) (*ObsServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: ObsHandler(ep)}
+	go srv.Serve(l)
+	return &ObsServer{l: l, srv: srv}, nil
+}
+
+// LintProm validates a Prometheus text exposition page the way a
+// scraper would — header/sample ordering, label syntax, duplicate
+// series, histogram bucket invariants. The self-check behind the obs
+// surface's tests and the bench harness's mid-run scrape; exported so
+// deployments embedding WriteProm output elsewhere can lint theirs too.
+func LintProm(page []byte) error { return metrics.LintProm(page) }

@@ -29,6 +29,7 @@ func (ep *Endpoint) Metrics() Metrics {
 	m.Resume = ep.resumeStats.Snapshot()
 	m.Shape = ep.shapeStats.Snapshot()
 	m.Dgram = ep.dgramStats.Snapshot()
+	m.Latency = ep.latency.Snapshot()
 	return m
 }
 
